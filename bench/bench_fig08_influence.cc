@@ -1,0 +1,78 @@
+// Regenerates Figure 8: influence spread from a senior-researcher group to
+// a junior group on the DBLP-like graph, before and after adding k edges —
+// eigenvalue optimization (EO) vs our BE-based influence maximizer.
+#include <cstdio>
+
+#include "apps/influence.h"
+#include "baselines/eigen.h"
+#include "bench_util.h"
+#include "core/candidates.h"
+#include "core/evaluate.h"
+
+namespace relmax {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  Dataset dataset = LoadDataset("dblp", config);
+  // Scaled version of the paper's 50 seniors -> 1000 juniors.
+  const int num_seniors = 10;
+  const int num_juniors = 150;
+  auto scenario = MakeCollaborationScenario(dataset.graph, num_seniors,
+                                            num_juniors, config.seed ^ 0xf8);
+  RELMAX_CHECK(scenario.ok());
+  const double before =
+      InfluenceSpread(dataset.graph, scenario->seniors, scenario->juniors,
+                      config.gain_samples, config.seed ^ 0x5d);
+  std::printf("original influence spread: %.1f of %d juniors\n", before,
+              num_juniors);
+
+  TablePrinter table({"k", "EO spread", "BE spread", "EO gain", "BE gain"});
+  for (int k : {5, 10, 20}) {
+    SolverOptions options = config.ToSolverOptions();
+    options.budget_k = k;
+
+    // EO: eigen-score edges from the multi candidate space.
+    auto candidates = SelectCandidatesMulti(dataset.graph, scenario->seniors,
+                                            scenario->juniors, options);
+    RELMAX_CHECK(candidates.ok());
+    const std::vector<Edge> eo_edges = SelectByEigenScore(
+        dataset.graph, candidates->edges, k, options.zeta);
+    const double eo_after = InfluenceSpread(
+        AugmentGraph(dataset.graph, eo_edges), scenario->seniors,
+        scenario->juniors, config.gain_samples, config.seed ^ 0x5d);
+
+    auto be = MaximizeInfluenceSpread(dataset.graph, scenario->seniors,
+                                      scenario->juniors, options,
+                                      /*pair_cap=*/40);
+    RELMAX_CHECK(be.ok());
+    const double be_after = InfluenceSpread(
+        AugmentGraph(dataset.graph, be->recommended_edges),
+        scenario->seniors, scenario->juniors, config.gain_samples,
+        config.seed ^ 0x5d);
+
+    table.AddRow({Fmt(k), Fmt(eo_after, 1), Fmt(be_after, 1),
+                  Fmt(eo_after - before, 1), Fmt(be_after - before, 1)});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "paper Figure 8 shape: BE's targeted objective beats the global\n"
+      "eigenvalue heuristic at every budget (paper: ~326 more influenced\n"
+      "juniors at k = 100).\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relmax
+
+int main(int argc, char** argv) {
+  relmax::Flags flags = relmax::Flags::Parse(argc, argv);
+  relmax::bench::BenchConfig config =
+      relmax::bench::BenchConfig::FromFlags(flags);
+  if (!flags.Has("scale")) config.scale = 0.04;
+  relmax::bench::PrintHeader("Figure 8: influence maximization (dblp-like)",
+                             config);
+  relmax::bench::Run(config);
+  return 0;
+}

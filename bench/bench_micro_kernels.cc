@@ -1,0 +1,113 @@
+// Micro-kernel benchmarks (google-benchmark): the primitives the solver
+// pipeline is built from — MC sampling, RSS, reliability-to-all passes,
+// most-reliable-path Dijkstra, Yen top-l, search-space elimination, and the
+// delta-gain world ensemble.
+#include <benchmark/benchmark.h>
+
+#include "baselines/fast_gain.h"
+#include "common/rng.h"
+#include "core/candidates.h"
+#include "gen/datasets.h"
+#include "gen/queries.h"
+#include "paths/most_reliable_path.h"
+#include "paths/yen.h"
+#include "sampling/reliability.h"
+#include "sampling/rss.h"
+
+namespace relmax {
+namespace {
+
+const Dataset& TestGraph() {
+  static const Dataset* dataset = [] {
+    auto d = MakeDataset("lastfm", 0.5, 7);
+    RELMAX_CHECK(d.ok());
+    return new Dataset(*std::move(d));
+  }();
+  return *dataset;
+}
+
+std::pair<NodeId, NodeId> TestQuery() {
+  static const auto query = [] {
+    auto q = GenerateQueries(TestGraph().graph, 1, {.seed = 3});
+    RELMAX_CHECK(q.ok());
+    return (*q)[0];
+  }();
+  return query;
+}
+
+void BM_MonteCarloReliability(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  MonteCarloSampler sampler(TestGraph().graph, 11);
+  const int z = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Reliability(s, t, z));
+  }
+  state.SetItemsProcessed(state.iterations() * z);
+}
+BENCHMARK(BM_MonteCarloReliability)->Arg(100)->Arg(500)->Arg(1000);
+
+void BM_RssReliability(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  const int z = static_cast<int>(state.range(0));
+  RssSampler sampler(TestGraph().graph, {.num_samples = z, .seed = 11});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Reliability(s, t));
+  }
+  state.SetItemsProcessed(state.iterations() * z);
+}
+BENCHMARK(BM_RssReliability)->Arg(100)->Arg(500);
+
+void BM_ReliabilityFromSourceToAll(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  (void)t;
+  MonteCarloSampler sampler(TestGraph().graph, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.FromSource(s, 200));
+  }
+}
+BENCHMARK(BM_ReliabilityFromSourceToAll);
+
+void BM_MostReliablePath(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MostReliablePath(TestGraph().graph, s, t));
+  }
+}
+BENCHMARK(BM_MostReliablePath);
+
+void BM_YenTopL(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  const int l = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TopLReliablePaths(TestGraph().graph, s, t, l));
+  }
+}
+BENCHMARK(BM_YenTopL)->Arg(10)->Arg(30);
+
+void BM_SearchSpaceElimination(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  SolverOptions options;
+  options.top_r = static_cast<int>(state.range(0));
+  options.elimination_samples = 300;
+  options.hop_h = 3;
+  for (auto _ : state) {
+    auto candidates = SelectCandidates(TestGraph().graph, s, t, options);
+    benchmark::DoNotOptimize(candidates);
+  }
+}
+BENCHMARK(BM_SearchSpaceElimination)->Arg(20)->Arg(50)->Arg(100);
+
+void BM_WorldEnsembleBuild(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  const int z = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldEnsemble ensemble(TestGraph().graph, s, t, z, 17);
+    benchmark::DoNotOptimize(ensemble.BaseReliability());
+  }
+}
+BENCHMARK(BM_WorldEnsembleBuild)->Arg(100)->Arg(500);
+
+}  // namespace
+}  // namespace relmax
+
+BENCHMARK_MAIN();

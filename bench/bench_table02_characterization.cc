@@ -1,0 +1,51 @@
+// Regenerates Table 2 (+ Figure 3): the reliability of the three candidate
+// 2-edge solutions on the characterization example, showing that the optimal
+// set flips with alpha and zeta (Observations 1-3).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "graph/exact_reliability.h"
+
+namespace relmax {
+namespace {
+
+double SolutionReliability(double alpha, double zeta, bool sa, bool sb,
+                           bool bt) {
+  UncertainGraph g = UncertainGraph::Undirected(4);
+  const NodeId s = 0, a = 1, b = 2, t = 3;
+  RELMAX_CHECK(g.AddEdge(a, b, alpha).ok());
+  RELMAX_CHECK(g.AddEdge(a, t, alpha).ok());
+  if (sa) RELMAX_CHECK(g.AddEdge(s, a, zeta).ok());
+  if (sb) RELMAX_CHECK(g.AddEdge(s, b, zeta).ok());
+  if (bt) RELMAX_CHECK(g.AddEdge(b, t, zeta).ok());
+  return ExactReliabilityFactoring(g, s, t).value();
+}
+
+void Run() {
+  TablePrinter table({"alpha", "zeta", "{sA,sB}", "{sA,Bt}", "{sB,Bt}",
+                      "optimal"});
+  const double settings[3][2] = {{0.5, 0.7}, {0.5, 0.3}, {0.9, 0.7}};
+  for (const auto& [alpha, zeta] : settings) {
+    const double r1 = SolutionReliability(alpha, zeta, true, true, false);
+    const double r2 = SolutionReliability(alpha, zeta, true, false, true);
+    const double r3 = SolutionReliability(alpha, zeta, false, true, true);
+    const char* optimal = r1 >= r2 && r1 >= r3   ? "{sA,sB}"
+                          : r2 >= r1 && r2 >= r3 ? "{sA,Bt}"
+                                                 : "{sB,Bt}";
+    table.AddRow({Fmt(alpha, 1), Fmt(zeta, 1), Fmt(r1), Fmt(r2), Fmt(r3),
+                  optimal});
+  }
+  table.Print();
+  std::printf(
+      "paper Table 2: rows flip the optimum {sB,Bt} -> {sA,sB} -> {sA,sB},\n"
+      "demonstrating dependence on zeta (Obs. 1) and alpha (Obs. 2).\n");
+}
+
+}  // namespace
+}  // namespace relmax
+
+int main() {
+  std::printf("=== Table 2: problem characterization (exact) ===\n");
+  relmax::Run();
+  return 0;
+}

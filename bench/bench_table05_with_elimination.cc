@@ -1,0 +1,66 @@
+// Regenerates Table 5: the same method lineup as Table 4 but with
+// reliability-based search-space elimination (Algorithm 4) applied first —
+// every method then works on the relevant O(r^2) candidate space.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace relmax {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  Dataset dataset = LoadDataset("lastfm", config);
+  const auto queries = MakeQueries(dataset.graph, config);
+  const SolverOptions options = config.ToSolverOptions();
+
+  const Method methods[] = {
+      Method::kIndividualTopK, Method::kHillClimbing, Method::kDegree,
+      Method::kBetweenness,    Method::kEigen,        Method::kMrp,
+      Method::kIp,             Method::kBe,
+  };
+
+  // One elimination per query, shared across methods (as the paper does).
+  std::vector<EliminatedQuery> eliminated;
+  double elimination_seconds = 0.0;
+  for (const auto& [s, t] : queries) {
+    eliminated.push_back(Eliminate(dataset.graph, s, t, options));
+    elimination_seconds += eliminated.back().elimination_seconds;
+  }
+  std::printf("search-space elimination: %.2f sec/query\n",
+              elimination_seconds / queries.size());
+
+  TablePrinter table({"Method", "Reliability Gain", "Running Time (sec)"});
+  for (Method method : methods) {
+    double gain = 0.0;
+    double seconds = 0.0;
+    for (size_t q = 0; q < queries.size(); ++q) {
+      const auto [s, t] = queries[q];
+      const MethodResult result = RunMethodEliminated(
+          dataset.graph, s, t, eliminated[q], method, config);
+      gain += result.gain;
+      seconds += result.seconds;
+    }
+    table.AddRow({MethodLabel(method), Fmt(gain / queries.size()),
+                  Fmt(seconds / queries.size(), 2)});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "paper Table 5 shape: elimination cuts every sampling method's cost\n"
+      "by ~99%% with no accuracy loss; BE best gain, IP fastest selection.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relmax
+
+int main(int argc, char** argv) {
+  relmax::Flags flags = relmax::Flags::Parse(argc, argv);
+  relmax::bench::BenchConfig config =
+      relmax::bench::BenchConfig::FromFlags(flags);
+  relmax::bench::PrintHeader(
+      "Table 5: methods with search-space elimination (lastfm-like)", config);
+  relmax::bench::Run(config);
+  return 0;
+}

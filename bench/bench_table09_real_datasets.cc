@@ -1,0 +1,67 @@
+// Regenerates Table 9: single-source-target reliability maximization on the
+// four "real" datasets — reliability gain, running time, and memory for HC,
+// MRP, IP, and BE (all with search-space elimination).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/memory.h"
+
+namespace relmax {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const char* names[] = {"lastfm", "as_topology", "dblp", "twitter"};
+  const Method methods[] = {Method::kHillClimbing, Method::kMrp, Method::kIp,
+                            Method::kBe};
+
+  TablePrinter table({"Dataset", "Method", "Reliability Gain",
+                      "Running Time (sec)", "Memory (GB)"});
+  for (const char* name : names) {
+    Dataset dataset = LoadDataset(name, config);
+    const auto queries = MakeQueries(dataset.graph, config);
+    const SolverOptions options = config.ToSolverOptions();
+
+    std::vector<EliminatedQuery> eliminated;
+    for (const auto& [s, t] : queries) {
+      eliminated.push_back(Eliminate(dataset.graph, s, t, options));
+    }
+    for (Method method : methods) {
+      double gain = 0.0;
+      double seconds = 0.0;
+      size_t mem = 0;
+      for (size_t q = 0; q < queries.size(); ++q) {
+        const auto [s, t] = queries[q];
+        const MethodResult result = RunMethodEliminated(
+            dataset.graph, s, t, eliminated[q], method, config);
+        gain += result.gain;
+        seconds += result.seconds;
+        mem = std::max(mem, result.peak_rss_bytes);
+      }
+      table.AddRow({dataset.name, MethodLabel(method),
+                    Fmt(gain / queries.size()),
+                    Fmt(seconds / queries.size(), 2),
+                    Fmt(BytesToGiB(mem), 3)});
+      std::fflush(stdout);
+    }
+  }
+  table.Print();
+  std::printf(
+      "paper Table 9 shape: BE wins or ties the gain on every dataset at\n"
+      "~1/10th-1/30th of HC's time; MRP is cheapest and weakest; the BE\n"
+      "advantage is largest on the sparse twitter-like graph.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relmax
+
+int main(int argc, char** argv) {
+  relmax::Flags flags = relmax::Flags::Parse(argc, argv);
+  relmax::bench::BenchConfig config =
+      relmax::bench::BenchConfig::FromFlags(flags);
+  relmax::bench::PrintHeader(
+      "Table 9: single-source-target on real-dataset stand-ins", config);
+  relmax::bench::Run(config);
+  return 0;
+}

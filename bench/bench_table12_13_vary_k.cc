@@ -1,0 +1,65 @@
+// Regenerates Tables 12-13: reliability gain and running time as the budget
+// k grows, on the LastFM-like and DBLP-like graphs (HC / MRP / IP / BE).
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace relmax {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const char* names[] = {"lastfm", "dblp"};
+  const int budgets[] = {3, 5, 8, 10, 15, 20, 30, 50};
+  const Method methods[] = {Method::kHillClimbing, Method::kMrp, Method::kIp,
+                            Method::kBe};
+
+  for (const char* name : names) {
+    Dataset dataset = LoadDataset(name, config);
+    const auto queries = MakeQueries(dataset.graph, config);
+    std::printf("\n--- %s ---\n", name);
+    TablePrinter table({"k", "HC gain", "MRP gain", "IP gain", "BE gain",
+                        "HC s", "MRP s", "IP s", "BE s"});
+    for (int k : budgets) {
+      BenchConfig variant = config;
+      variant.k = k;
+      const SolverOptions options = variant.ToSolverOptions();
+      double gain[4] = {0, 0, 0, 0};
+      double secs[4] = {0, 0, 0, 0};
+      for (const auto& [s, t] : queries) {
+        const EliminatedQuery eq = Eliminate(dataset.graph, s, t, options);
+        for (int m = 0; m < 4; ++m) {
+          const MethodResult result = RunMethodEliminated(
+              dataset.graph, s, t, eq, methods[m], variant);
+          gain[m] += result.gain;
+          secs[m] += result.seconds;
+        }
+      }
+      const double q = static_cast<double>(queries.size());
+      table.AddRow({Fmt(k), Fmt(gain[0] / q), Fmt(gain[1] / q),
+                    Fmt(gain[2] / q), Fmt(gain[3] / q), Fmt(secs[0] / q, 2),
+                    Fmt(secs[1] / q, 2), Fmt(secs[2] / q, 2),
+                    Fmt(secs[3] / q, 2)});
+      std::fflush(stdout);
+    }
+    table.Print();
+  }
+  std::printf(
+      "paper Tables 12-13 shape: gains grow with k and saturate (LastFM\n"
+      "~k=30, DBLP ~k=20); MRP's gain flattens immediately (one path);\n"
+      "HC time grows linearly in k, IP/BE stay near-flat.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relmax
+
+int main(int argc, char** argv) {
+  relmax::Flags flags = relmax::Flags::Parse(argc, argv);
+  relmax::bench::BenchConfig config =
+      relmax::bench::BenchConfig::FromFlags(flags);
+  if (!flags.Has("queries")) config.queries = 2;
+  relmax::bench::PrintHeader("Tables 12-13: varying the budget k", config);
+  relmax::bench::Run(config);
+  return 0;
+}

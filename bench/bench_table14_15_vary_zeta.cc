@@ -1,0 +1,67 @@
+// Regenerates Tables 14-15: reliability gain and running time as the
+// new-edge probability zeta varies, on the AS-Topology-like and
+// Twitter-like graphs (HC / MRP / IP / BE).
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace relmax {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const char* names[] = {"as_topology", "twitter"};
+  const double zetas[] = {0.3, 0.4, 0.5, 0.6, 0.7, 1.0};
+  const Method methods[] = {Method::kHillClimbing, Method::kMrp, Method::kIp,
+                            Method::kBe};
+
+  for (const char* name : names) {
+    Dataset dataset = LoadDataset(name, config);
+    const auto queries = MakeQueries(dataset.graph, config);
+    std::printf("\n--- %s ---\n", name);
+    TablePrinter table({"zeta", "HC gain", "MRP gain", "IP gain", "BE gain",
+                        "HC s", "MRP s", "IP s", "BE s"});
+    for (double zeta : zetas) {
+      BenchConfig variant = config;
+      variant.zeta = zeta;
+      const SolverOptions options = variant.ToSolverOptions();
+      double gain[4] = {0, 0, 0, 0};
+      double secs[4] = {0, 0, 0, 0};
+      for (const auto& [s, t] : queries) {
+        const EliminatedQuery eq = Eliminate(dataset.graph, s, t, options);
+        for (int m = 0; m < 4; ++m) {
+          const MethodResult result = RunMethodEliminated(
+              dataset.graph, s, t, eq, methods[m], variant);
+          gain[m] += result.gain;
+          secs[m] += result.seconds;
+        }
+      }
+      const double q = static_cast<double>(queries.size());
+      table.AddRow({Fmt(zeta, 1), Fmt(gain[0] / q), Fmt(gain[1] / q),
+                    Fmt(gain[2] / q), Fmt(gain[3] / q), Fmt(secs[0] / q, 2),
+                    Fmt(secs[1] / q, 2), Fmt(secs[2] / q, 2),
+                    Fmt(secs[3] / q, 2)});
+      std::fflush(stdout);
+    }
+    table.Print();
+  }
+  std::printf(
+      "paper Tables 14-15 shape: gain grows roughly linearly with zeta\n"
+      "(super-linear jumps when the optimal edge set flips, Obs. 1);\n"
+      "running time is insensitive to zeta.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relmax
+
+int main(int argc, char** argv) {
+  relmax::Flags flags = relmax::Flags::Parse(argc, argv);
+  relmax::bench::BenchConfig config =
+      relmax::bench::BenchConfig::FromFlags(flags);
+  if (!flags.Has("queries")) config.queries = 2;
+  relmax::bench::PrintHeader("Tables 14-15: varying the new-edge probability",
+                             config);
+  relmax::bench::Run(config);
+  return 0;
+}

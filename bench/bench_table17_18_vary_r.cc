@@ -1,0 +1,70 @@
+// Regenerates Tables 17-18: the effect of the elimination width r on
+// quality and on the elimination (Time 1) vs selection (Time 2) split,
+// on the LastFM-like and DBLP-like graphs.
+#include <cstdio>
+
+#include "bench_util.h"
+
+namespace relmax {
+namespace bench {
+namespace {
+
+void Run(const BenchConfig& config) {
+  const char* names[] = {"lastfm", "dblp"};
+  const int rs[] = {10, 20, 40, 60, 80, 120};
+  const Method methods[] = {Method::kHillClimbing, Method::kMrp, Method::kIp,
+                            Method::kBe};
+
+  for (const char* name : names) {
+    Dataset dataset = LoadDataset(name, config);
+    const auto queries = MakeQueries(dataset.graph, config);
+    std::printf("\n--- %s ---\n", name);
+    TablePrinter table({"r", "HC gain", "MRP gain", "IP gain", "BE gain",
+                        "Time1 s", "HC s", "MRP s", "IP s", "BE s"});
+    for (int r : rs) {
+      BenchConfig variant = config;
+      variant.r = r;
+      const SolverOptions options = variant.ToSolverOptions();
+      double gain[4] = {0, 0, 0, 0};
+      double secs[4] = {0, 0, 0, 0};
+      double time1 = 0.0;
+      for (const auto& [s, t] : queries) {
+        const EliminatedQuery eq = Eliminate(dataset.graph, s, t, options);
+        time1 += eq.elimination_seconds;
+        for (int m = 0; m < 4; ++m) {
+          const MethodResult result = RunMethodEliminated(
+              dataset.graph, s, t, eq, methods[m], variant);
+          gain[m] += result.gain;
+          // Report the selection phase (Time 2) alone, as the paper does.
+          secs[m] += result.seconds - eq.elimination_seconds;
+        }
+      }
+      const double q = static_cast<double>(queries.size());
+      table.AddRow({Fmt(r), Fmt(gain[0] / q), Fmt(gain[1] / q),
+                    Fmt(gain[2] / q), Fmt(gain[3] / q), Fmt(time1 / q, 2),
+                    Fmt(secs[0] / q, 2), Fmt(secs[1] / q, 2),
+                    Fmt(secs[2] / q, 2), Fmt(secs[3] / q, 2)});
+      std::fflush(stdout);
+    }
+    table.Print();
+  }
+  std::printf(
+      "paper Tables 17-18 shape: small r loses accuracy (over-elimination);\n"
+      "gains plateau by r~80-100; Time 1 grows with r (O(r^2) candidate\n"
+      "assembly), selection times grow for HC/MRP but barely for IP/BE.\n");
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relmax
+
+int main(int argc, char** argv) {
+  relmax::Flags flags = relmax::Flags::Parse(argc, argv);
+  relmax::bench::BenchConfig config =
+      relmax::bench::BenchConfig::FromFlags(flags);
+  if (!flags.Has("queries")) config.queries = 2;
+  relmax::bench::PrintHeader("Tables 17-18: varying the elimination width r",
+                             config);
+  relmax::bench::Run(config);
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Road-network route reliability (the paper's transportation motivation):
+// a city grid where each road segment survives congestion with some
+// probability. Plan k new road links (flyovers) within a physical distance
+// budget to maximize the worst-case delivery reliability from two depots to
+// three customer zones (multi-source-target, Minimum aggregate).
+//
+//   $ ./build/examples/road_network [--k 4] [--grid 12]
+#include <cstdio>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "core/multi.h"
+#include "graph/uncertain_graph.h"
+
+using namespace relmax;
+
+int main(int argc, char** argv) {
+  Flags flags = Flags::Parse(argc, argv);
+  const int k = static_cast<int>(flags.GetInt("k", 4));
+  const int grid = static_cast<int>(flags.GetInt("grid", 12));
+
+  // Build a grid road network; congestion-prone arterials in the middle.
+  const NodeId n = static_cast<NodeId>(grid * grid);
+  UncertainGraph roads = UncertainGraph::Undirected(n);
+  Rng rng(2026);
+  auto id = [grid](int x, int y) { return static_cast<NodeId>(y * grid + x); };
+  for (int y = 0; y < grid; ++y) {
+    for (int x = 0; x < grid; ++x) {
+      // Middle rows model a congested river crossing: low survival prob.
+      const bool congested = y == grid / 2 || y == grid / 2 - 1;
+      const double base = congested ? 0.25 : 0.75;
+      if (x + 1 < grid) {
+        RELMAX_CHECK(roads
+                         .AddEdge(id(x, y), id(x + 1, y),
+                                  base + rng.NextDouble(-0.1, 0.1))
+                         .ok());
+      }
+      if (y + 1 < grid) {
+        RELMAX_CHECK(roads
+                         .AddEdge(id(x, y), id(x, y + 1),
+                                  base + rng.NextDouble(-0.1, 0.1))
+                         .ok());
+      }
+    }
+  }
+
+  // Two depots south of the river, three customer zones north of it.
+  const std::vector<NodeId> depots = {id(1, 1), id(grid - 2, 1)};
+  const std::vector<NodeId> customers = {id(1, grid - 2),
+                                         id(grid / 2, grid - 1),
+                                         id(grid - 2, grid - 2)};
+
+  std::printf("road grid: %u junctions, %zu segments\n", roads.num_nodes(),
+              roads.num_edges());
+  std::printf("depots: %zu, customer zones: %zu\n", depots.size(),
+              customers.size());
+
+  SolverOptions options;
+  options.budget_k = k;
+  options.zeta = 0.9;  // a new flyover is reliable
+  options.top_r = 60;
+  options.top_l = 15;
+  options.hop_h = 3;  // a flyover can only bridge nearby junctions
+  options.num_samples = 400;
+  options.elimination_samples = 400;
+
+  auto plan = MaximizeMultiReliability(roads, depots, customers,
+                                       Aggregate::kMinimum, options);
+  RELMAX_CHECK(plan.ok());
+
+  std::printf(
+      "\nworst-case depot->customer reliability: %.3f -> %.3f (+%.3f)\n",
+      plan->aggregate_before, plan->aggregate_after, plan->gain());
+  std::printf("planned flyovers (%zu):\n", plan->added_edges.size());
+  for (const Edge& e : plan->added_edges) {
+    std::printf("  junction (%u,%u) <-> (%u,%u), p = %.2f\n", e.src % grid,
+                e.src / grid, e.dst % grid, e.dst / grid, e.prob);
+  }
+  std::printf(
+      "\nthe Minimum aggregate forces the plan to help the least reliable\n"
+      "depot-customer pair first — typically bridging the congested rows.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+#ifndef RELMAX_APPS_INFLUENCE_H_
+#define RELMAX_APPS_INFLUENCE_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Targeted influence maximization by edge addition (paper §8.4.2, Figure
+/// 8): under the independent-cascade model, activation equals possible-world
+/// reachability, so recommending k new connections that maximize the spread
+/// from a seed group S into a target group T is an instance of
+/// multiple-source-target reliability maximization.
+
+/// The DBLP scenario: `seniors` (high-degree authors) campaign to
+/// `juniors` (low-degree authors).
+struct CollaborationScenario {
+  std::vector<NodeId> seniors;
+  std::vector<NodeId> juniors;
+};
+
+/// Picks `num_seniors` nodes uniformly among the top 5% by degree and
+/// `num_juniors` uniformly among degree 1..3 nodes (the paper's 1-3-paper
+/// junior group), disjoint.
+StatusOr<CollaborationScenario> MakeCollaborationScenario(
+    const UncertainGraph& g, int num_seniors, int num_juniors, uint64_t seed);
+
+/// Result of influence maximization by edge addition.
+struct InfluenceResult {
+  std::vector<Edge> recommended_edges;
+  double spread_before = 0.0;  ///< E[#influenced targets], Equation 13
+  double spread_after = 0.0;
+};
+
+/// Adds up to `options.budget_k` edges maximizing Inf(S, T): candidate
+/// generation by multi-source elimination, path pooling over a capped set of
+/// (s, t) pairs, and batch selection scored directly on the influence-spread
+/// objective. `pair_cap` bounds the pairs used for path pooling (|S||T| can
+/// be large; the spread objective itself always uses all of S and T).
+StatusOr<InfluenceResult> MaximizeInfluenceSpread(
+    const UncertainGraph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, const SolverOptions& options,
+    int pair_cap = 64);
+
+}  // namespace relmax
+
+#endif  // RELMAX_APPS_INFLUENCE_H_

@@ -1,0 +1,59 @@
+#include "apps/sensor.h"
+
+#include "core/evaluate.h"
+#include "core/solver.h"
+
+namespace relmax {
+
+std::vector<Edge> SensorCandidateLinks(const Dataset& network,
+                                       double max_distance_m,
+                                       double link_prob) {
+  std::vector<Edge> candidates;
+  const UncertainGraph& g = network.graph;
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (!g.directed() && u > v) continue;
+      if (DistanceMeters(network, u, v) > max_distance_m) continue;
+      candidates.push_back({u, v, link_prob});
+    }
+  }
+  return candidates;
+}
+
+StatusOr<SensorCaseResult> ImproveSensorPair(const Dataset& network,
+                                             NodeId source, NodeId target,
+                                             int budget, double link_prob,
+                                             double max_distance_m,
+                                             const SolverOptions& options) {
+  const UncertainGraph& g = network.graph;
+  if (source >= g.num_nodes() || target >= g.num_nodes()) {
+    return Status::OutOfRange("sensor id out of range");
+  }
+  if (network.positions.size() != g.num_nodes()) {
+    return Status::FailedPrecondition("dataset has no sensor positions");
+  }
+
+  // Distance-constrained candidate pool instead of the h-hop rule: the
+  // physical layout decides which links are buildable.
+  CandidateSet candidates;
+  candidates.edges = SensorCandidateLinks(network, max_distance_m, link_prob);
+
+  SolverOptions solver_options = options;
+  solver_options.budget_k = budget;
+  solver_options.zeta = link_prob;
+  auto solution = MaximizeReliabilityWithCandidates(
+      g, source, target, candidates, solver_options,
+      CoreMethod::kBatchEdges);
+  RELMAX_RETURN_IF_ERROR(solution.status());
+
+  SensorCaseResult result;
+  result.source = source;
+  result.target = target;
+  result.reliability_before = solution->reliability_before;
+  result.reliability_after = solution->reliability_after;
+  result.new_links = solution->added_edges;
+  return result;
+}
+
+}  // namespace relmax

@@ -1,0 +1,45 @@
+#ifndef RELMAX_APPS_SENSOR_H_
+#define RELMAX_APPS_SENSOR_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/candidates.h"
+#include "core/types.h"
+#include "gen/datasets.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Sensor-network case-study substrate (paper §8.4.1, Figures 6–7): the
+/// Intel-Lab-style 54-sensor network with physical-distance-constrained new
+/// links.
+
+/// Candidate links between sensors at most `max_distance_m` apart, each with
+/// probability `link_prob` (the paper uses the network's average link
+/// probability, 0.33, and a 15 m limit). Existing links are excluded.
+std::vector<Edge> SensorCandidateLinks(const Dataset& network,
+                                       double max_distance_m,
+                                       double link_prob);
+
+/// Result of the case study on one sensor pair.
+struct SensorCaseResult {
+  NodeId source = 0;
+  NodeId target = 0;
+  double reliability_before = 0.0;
+  double reliability_after = 0.0;
+  std::vector<Edge> new_links;
+};
+
+/// Runs the paper's case study: add up to `budget` new short-distance links
+/// maximizing the source→target delivery reliability, using the BE solver
+/// over the distance-constrained candidate set.
+StatusOr<SensorCaseResult> ImproveSensorPair(const Dataset& network,
+                                             NodeId source, NodeId target,
+                                             int budget, double link_prob,
+                                             double max_distance_m,
+                                             const SolverOptions& options);
+
+}  // namespace relmax
+
+#endif  // RELMAX_APPS_SENSOR_H_

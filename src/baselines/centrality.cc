@@ -1,0 +1,105 @@
+#include "baselines/centrality.h"
+
+#include <algorithm>
+#include <queue>
+#include <stack>
+
+namespace relmax {
+namespace {
+
+// Top-k candidates under a per-edge score, deterministic tie-break.
+std::vector<Edge> TopKByScore(const std::vector<Edge>& candidates,
+                              const std::vector<double>& scores, int k) {
+  std::vector<int> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (scores[a] != scores[b]) return scores[a] > scores[b];
+    if (candidates[a].src != candidates[b].src) {
+      return candidates[a].src < candidates[b].src;
+    }
+    return candidates[a].dst < candidates[b].dst;
+  });
+  std::vector<Edge> out;
+  for (int i = 0; i < static_cast<int>(order.size()) && i < k; ++i) {
+    out.push_back(candidates[order[i]]);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> BetweennessCentrality(const UncertainGraph& g) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> centrality(n, 0.0);
+  // Brandes: one BFS + dependency accumulation per source.
+  std::vector<int> dist(n);
+  std::vector<double> sigma(n);
+  std::vector<double> delta(n);
+  std::vector<std::vector<NodeId>> preds(n);
+  for (NodeId s = 0; s < n; ++s) {
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    for (auto& p : preds) p.clear();
+
+    std::vector<NodeId> order;  // nodes in non-decreasing distance
+    std::queue<NodeId> queue;
+    dist[s] = 0;
+    sigma[s] = 1.0;
+    queue.push(s);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      order.push_back(u);
+      for (const Arc& arc : g.OutArcs(u)) {
+        const NodeId v = arc.to;
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          queue.push(v);
+        }
+        if (dist[v] == dist[u] + 1) {
+          sigma[v] += sigma[u];
+          preds[v].push_back(u);
+        }
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const NodeId w = *it;
+      for (NodeId u : preds[w]) {
+        delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+      }
+      if (w != s) centrality[w] += delta[w];
+    }
+  }
+  // Undirected graphs count each path twice (once per endpoint as source).
+  if (!g.directed()) {
+    for (double& c : centrality) c /= 2.0;
+  }
+  return centrality;
+}
+
+std::vector<Edge> SelectByDegreeCentrality(const UncertainGraph& g,
+                                           const std::vector<Edge>& candidates,
+                                           int k) {
+  std::vector<double> node_score(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    node_score[v] = g.WeightedDegree(v);
+  }
+  std::vector<double> scores(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = node_score[candidates[i].src] + node_score[candidates[i].dst];
+  }
+  return TopKByScore(candidates, scores, k);
+}
+
+std::vector<Edge> SelectByBetweennessCentrality(
+    const UncertainGraph& g, const std::vector<Edge>& candidates, int k) {
+  const std::vector<double> node_score = BetweennessCentrality(g);
+  std::vector<double> scores(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = node_score[candidates[i].src] + node_score[candidates[i].dst];
+  }
+  return TopKByScore(candidates, scores, k);
+}
+
+}  // namespace relmax

@@ -1,0 +1,29 @@
+#ifndef RELMAX_BASELINES_CENTRALITY_H_
+#define RELMAX_BASELINES_CENTRALITY_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Betweenness centrality of every node via Brandes' algorithm [25] on the
+/// unweighted graph (edge probabilities ignored, directions respected).
+/// O(nm) time, O(n + m) space.
+std::vector<double> BetweennessCentrality(const UncertainGraph& g);
+
+/// §3.3 baseline, degree flavor: ranks candidate edges by the sum of their
+/// endpoints' weighted degrees (aggregated edge probabilities) and returns
+/// the top-k. Not query-specific by design — that is the paper's point.
+std::vector<Edge> SelectByDegreeCentrality(const UncertainGraph& g,
+                                           const std::vector<Edge>& candidates,
+                                           int k);
+
+/// §3.3 baseline, betweenness flavor: ranks candidate edges by the sum of
+/// their endpoints' betweenness centralities.
+std::vector<Edge> SelectByBetweennessCentrality(
+    const UncertainGraph& g, const std::vector<Edge>& candidates, int k);
+
+}  // namespace relmax
+
+#endif  // RELMAX_BASELINES_CENTRALITY_H_

@@ -1,0 +1,125 @@
+#include "baselines/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace relmax {
+namespace {
+
+// One multiplication y = A x (or Aᵀ x), where A(i, j) = p(i -> j).
+void Multiply(const UncertainGraph& g, bool transpose,
+              const std::vector<double>& x, std::vector<double>* y) {
+  std::fill(y->begin(), y->end(), 0.0);
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    for (const Arc& arc : g.OutArcs(u)) {
+      if (transpose) {
+        (*y)[u] += arc.prob * x[arc.to];
+      } else {
+        (*y)[arc.to] += arc.prob * x[u];
+      }
+    }
+  }
+}
+
+std::vector<double> PowerIterate(const UncertainGraph& g, bool transpose,
+                                 int iterations, double tolerance,
+                                 double* eigenvalue) {
+  const NodeId n = g.num_nodes();
+  std::vector<double> x(n, 1.0 / std::max<NodeId>(n, 1));
+  std::vector<double> y(n, 0.0);
+  double lambda = 0.0;
+  for (int it = 0; it < iterations; ++it) {
+    Multiply(g, transpose, x, &y);
+    double norm = 0.0;
+    for (double v : y) norm += std::abs(v);
+    if (norm <= 0.0) {  // nilpotent adjacency (e.g. DAG): eigenvalue 0
+      *eigenvalue = 0.0;
+      return x;
+    }
+    for (NodeId v = 0; v < n; ++v) y[v] /= norm;
+    const double new_lambda = norm;
+    x.swap(y);
+    if (std::abs(new_lambda - lambda) < tolerance) {
+      lambda = new_lambda;
+      break;
+    }
+    lambda = new_lambda;
+  }
+  *eigenvalue = lambda;
+  return x;
+}
+
+}  // namespace
+
+EigenDecomposition LeadingEigen(const UncertainGraph& g, int iterations,
+                                double tolerance) {
+  RELMAX_CHECK(iterations > 0);
+  EigenDecomposition result;
+  double lambda_right = 0.0;
+  result.right = PowerIterate(g, false, iterations, tolerance, &lambda_right);
+  if (g.directed()) {
+    double lambda_left = 0.0;
+    result.left = PowerIterate(g, true, iterations, tolerance, &lambda_left);
+    result.eigenvalue = (lambda_left + lambda_right) / 2.0;
+  } else {
+    result.left = result.right;
+    result.eigenvalue = lambda_right;
+  }
+  return result;
+}
+
+std::vector<Edge> SelectByEigenScore(const UncertainGraph& g,
+                                     const std::vector<Edge>& candidates,
+                                     int k, double zeta) {
+  const EigenDecomposition eigen = LeadingEigen(g);
+  const std::vector<double>& u = eigen.left;
+  const std::vector<double>& v = eigen.right;
+
+  std::vector<Edge> pool = candidates;
+  if (pool.empty()) {
+    // Algorithm 2 proper: I = top-(k + din) by left score, J = top-(k + dout)
+    // by right score; connect missing pairs from I to J.
+    int din = 0;
+    int dout = 0;
+    for (NodeId x = 0; x < g.num_nodes(); ++x) {
+      dout = std::max(dout, static_cast<int>(g.OutArcs(x).size()));
+      din = std::max(din, static_cast<int>(g.InArcs(x).size()));
+    }
+    auto top_nodes = [&](const std::vector<double>& score, int count) {
+      std::vector<NodeId> order(g.num_nodes());
+      for (NodeId x = 0; x < g.num_nodes(); ++x) order[x] = x;
+      std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+        return score[a] != score[b] ? score[a] > score[b] : a < b;
+      });
+      if (static_cast<int>(order.size()) > count) order.resize(count);
+      return order;
+    };
+    const std::vector<NodeId> from = top_nodes(u, k + din);
+    const std::vector<NodeId> to = top_nodes(v, k + dout);
+    for (NodeId i : from) {
+      for (NodeId j : to) {
+        if (i == j || g.HasEdge(i, j)) continue;
+        pool.push_back({i, j, zeta});
+      }
+    }
+  }
+
+  std::vector<int> order(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    const double sa = u[pool[a].src] * v[pool[a].dst];
+    const double sb = u[pool[b].src] * v[pool[b].dst];
+    if (sa != sb) return sa > sb;
+    if (pool[a].src != pool[b].src) return pool[a].src < pool[b].src;
+    return pool[a].dst < pool[b].dst;
+  });
+  std::vector<Edge> out;
+  for (int i = 0; i < static_cast<int>(order.size()) && i < k; ++i) {
+    out.push_back(pool[order[i]]);
+  }
+  return out;
+}
+
+}  // namespace relmax

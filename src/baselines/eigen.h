@@ -1,0 +1,35 @@
+#ifndef RELMAX_BASELINES_EIGEN_H_
+#define RELMAX_BASELINES_EIGEN_H_
+
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Leading eigenvalue with left/right eigenvectors of the probability-
+/// weighted adjacency matrix, computed by power iteration.
+struct EigenDecomposition {
+  double eigenvalue = 0.0;
+  std::vector<double> left;   ///< u: leading left eigenvector (L1-normalized)
+  std::vector<double> right;  ///< v: leading right eigenvector
+};
+
+/// Power iteration on A (right) and Aᵀ (left). For undirected graphs left
+/// and right coincide. `iterations` bounds work; convergence is checked
+/// against `tolerance` on the eigenvalue estimate.
+EigenDecomposition LeadingEigen(const UncertainGraph& g, int iterations = 200,
+                                double tolerance = 1e-10);
+
+/// §3.4 baseline (Algorithm 2, after Chen et al. [16]): the eigenvalue gain
+/// of adding edge (i, j) is approximated by u(i)·v(j); pick the top-k
+/// candidate edges under that score. When `candidates` is empty the routine
+/// follows Algorithm 2 literally: it forms I (top-(k+din) left scores) ×
+/// J (top-(k+dout) right scores) restricted to missing edges.
+std::vector<Edge> SelectByEigenScore(const UncertainGraph& g,
+                                     const std::vector<Edge>& candidates,
+                                     int k, double zeta);
+
+}  // namespace relmax
+
+#endif  // RELMAX_BASELINES_EIGEN_H_

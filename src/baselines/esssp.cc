@@ -1,0 +1,98 @@
+#include "baselines/esssp.h"
+
+#include <queue>
+
+#include "common/rng.h"
+#include "core/evaluate.h"
+#include "graph/visit_marker.h"
+
+namespace relmax {
+
+double ExpectedSplSum(const UncertainGraph& g,
+                      const std::vector<NodeId>& sources,
+                      const std::vector<NodeId>& targets, int num_samples,
+                      uint64_t seed) {
+  RELMAX_CHECK(num_samples > 0);
+  const NodeId n = g.num_nodes();
+  const double penalty = static_cast<double>(n);
+  Rng rng(seed);
+  std::vector<char> present(g.num_edges());
+  std::vector<int> dist(n);
+  double total = 0.0;
+
+  for (int sample = 0; sample < num_samples; ++sample) {
+    for (size_t e = 0; e < g.num_edges(); ++e) {
+      present[e] = rng.NextBernoulli(g.EdgeById(static_cast<EdgeId>(e)).prob)
+                       ? 1
+                       : 0;
+    }
+    for (NodeId s : sources) {
+      std::fill(dist.begin(), dist.end(), -1);
+      std::queue<NodeId> queue;
+      dist[s] = 0;
+      queue.push(s);
+      while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop();
+        for (const Arc& arc : g.OutArcs(u)) {
+          if (!present[arc.edge_id] || dist[arc.to] >= 0) continue;
+          dist[arc.to] = dist[u] + 1;
+          queue.push(arc.to);
+        }
+      }
+      for (NodeId t : targets) {
+        total += dist[t] >= 0 ? dist[t] : penalty;
+      }
+    }
+  }
+  return total / num_samples;
+}
+
+StatusOr<std::vector<Edge>> SelectEsssp(const UncertainGraph& g,
+                                        const std::vector<NodeId>& sources,
+                                        const std::vector<NodeId>& targets,
+                                        const std::vector<Edge>& candidates,
+                                        const SolverOptions& options) {
+  if (sources.empty() || targets.empty()) {
+    return Status::InvalidArgument("sources and targets must be non-empty");
+  }
+  for (NodeId v : sources) {
+    if (v >= g.num_nodes()) return Status::OutOfRange("source out of range");
+  }
+  for (NodeId v : targets) {
+    if (v >= g.num_nodes()) return Status::OutOfRange("target out of range");
+  }
+  if (options.budget_k <= 0) {
+    return Status::InvalidArgument("budget_k must be positive");
+  }
+
+  UncertainGraph working = g;
+  std::vector<char> used(candidates.size(), 0);
+  std::vector<Edge> chosen;
+  for (int round = 0; round < options.budget_k; ++round) {
+    const uint64_t seed = options.seed ^ (0xe555 + round);
+    const double base = ExpectedSplSum(working, sources, targets,
+                                       options.num_samples, seed);
+    int best = -1;
+    double best_reduction = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const UncertainGraph augmented = AugmentGraph(working, {candidates[i]});
+      const double reduction =
+          base - ExpectedSplSum(augmented, sources, targets,
+                                options.num_samples, seed);
+      if (best < 0 || reduction > best_reduction) {
+        best_reduction = reduction;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    used[best] = 1;
+    chosen.push_back(candidates[best]);
+    (void)working.AddEdge(candidates[best].src, candidates[best].dst,
+                          candidates[best].prob);
+  }
+  return chosen;
+}
+
+}  // namespace relmax

@@ -1,0 +1,80 @@
+#include "baselines/exact.h"
+
+#include <algorithm>
+
+#include "core/evaluate.h"
+#include "graph/exact_reliability.h"
+
+namespace relmax {
+namespace {
+
+// Number of k-combinations, saturating at cap.
+uint64_t CombinationsCapped(uint64_t n, uint64_t k, uint64_t cap) {
+  if (k > n) return 0;
+  uint64_t result = 1;
+  for (uint64_t i = 0; i < k; ++i) {
+    if (result > cap) return cap + 1;
+    result = result * (n - i) / (i + 1);
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<std::vector<Edge>> SelectExact(const UncertainGraph& g, NodeId s,
+                                        NodeId t,
+                                        const std::vector<Edge>& candidates,
+                                        const SolverOptions& options,
+                                        uint64_t max_combinations,
+                                        int exact_edge_limit) {
+  if (s >= g.num_nodes() || t >= g.num_nodes()) {
+    return Status::OutOfRange("query node out of range");
+  }
+  const int k = std::min<int>(options.budget_k,
+                              static_cast<int>(candidates.size()));
+  if (k <= 0) return std::vector<Edge>{};
+  if (CombinationsCapped(candidates.size(), k, max_combinations) >
+      max_combinations) {
+    return Status::InvalidArgument(
+        "exact enumeration would exceed max_combinations; reduce the "
+        "candidate set or budget");
+  }
+
+  const bool use_exact =
+      static_cast<int>(g.num_edges()) + k <= exact_edge_limit;
+  auto evaluate = [&](const UncertainGraph& augmented) {
+    if (use_exact) {
+      auto r = ExactReliabilityFactoring(augmented, s, t, exact_edge_limit);
+      if (r.ok()) return r.value();
+    }
+    return EstimateWithOptions(augmented, s, t, options, 0xe5ac7);
+  };
+
+  // Iterate k-combinations with the classic index-vector walk.
+  std::vector<int> combo(k);
+  for (int i = 0; i < k; ++i) combo[i] = i;
+  std::vector<Edge> best_edges;
+  double best_reliability = -1.0;
+  while (true) {
+    std::vector<Edge> edges;
+    edges.reserve(k);
+    for (int i : combo) edges.push_back(candidates[i]);
+    const double reliability = evaluate(AugmentGraph(g, edges));
+    if (reliability > best_reliability) {
+      best_reliability = reliability;
+      best_edges = edges;
+    }
+    // Advance to the next combination.
+    int pos = k - 1;
+    while (pos >= 0 &&
+           combo[pos] == static_cast<int>(candidates.size()) - k + pos) {
+      --pos;
+    }
+    if (pos < 0) break;
+    ++combo[pos];
+    for (int i = pos + 1; i < k; ++i) combo[i] = combo[i - 1] + 1;
+  }
+  return best_edges;
+}
+
+}  // namespace relmax

@@ -1,0 +1,29 @@
+#ifndef RELMAX_BASELINES_EXACT_H_
+#define RELMAX_BASELINES_EXACT_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// The paper's exact competitor "ES" (Table 11): enumerates every
+/// combination of k candidate edges and returns the one with the highest
+/// reliability after addition. Exponential in k — `max_combinations` guards
+/// runaway instances (the paper applies ES only to the 54-node Intel Lab
+/// network).
+///
+/// Reliability per combination uses exact factoring when the graph is small
+/// enough (`exact_edge_limit`), Monte Carlo otherwise.
+StatusOr<std::vector<Edge>> SelectExact(const UncertainGraph& g, NodeId s,
+                                        NodeId t,
+                                        const std::vector<Edge>& candidates,
+                                        const SolverOptions& options,
+                                        uint64_t max_combinations = 2000000,
+                                        int exact_edge_limit = 40);
+
+}  // namespace relmax
+
+#endif  // RELMAX_BASELINES_EXACT_H_

@@ -1,0 +1,167 @@
+#include "baselines/fast_gain.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/evaluate.h"
+
+namespace relmax {
+namespace {
+
+Status ValidateArgs(const UncertainGraph& g, NodeId s, NodeId t,
+                    const SolverOptions& options) {
+  if (s >= g.num_nodes() || t >= g.num_nodes()) {
+    return Status::OutOfRange("query node out of range");
+  }
+  if (options.budget_k <= 0) {
+    return Status::InvalidArgument("budget_k must be positive");
+  }
+  if (options.num_samples <= 0) {
+    return Status::InvalidArgument("num_samples must be positive");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+WorldEnsemble::WorldEnsemble(const UncertainGraph& g, NodeId s, NodeId t,
+                             int num_samples, uint64_t seed)
+    : num_nodes_(g.num_nodes()),
+      num_samples_(num_samples),
+      from_s_(static_cast<size_t>(num_samples) * num_nodes_, 0),
+      to_t_(static_cast<size_t>(num_samples) * num_nodes_, 0),
+      st_connected_(num_samples, 0) {
+  Rng rng(seed);
+  std::vector<char> present(g.num_edges());
+  std::vector<NodeId> queue;
+  queue.reserve(num_nodes_);
+
+  for (int w = 0; w < num_samples; ++w) {
+    for (size_t e = 0; e < g.num_edges(); ++e) {
+      present[e] = rng.NextBernoulli(g.EdgeById(static_cast<EdgeId>(e)).prob)
+                       ? 1
+                       : 0;
+    }
+    char* from = &from_s_[static_cast<size_t>(w) * num_nodes_];
+    char* to = &to_t_[static_cast<size_t>(w) * num_nodes_];
+
+    queue.clear();
+    from[s] = 1;
+    queue.push_back(s);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      for (const Arc& arc : g.OutArcs(queue[head])) {
+        if (!present[arc.edge_id] || from[arc.to]) continue;
+        from[arc.to] = 1;
+        queue.push_back(arc.to);
+      }
+    }
+    queue.clear();
+    to[t] = 1;
+    queue.push_back(t);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      for (const Arc& arc : g.InArcs(queue[head])) {
+        if (!present[arc.edge_id] || to[arc.to]) continue;
+        to[arc.to] = 1;
+        queue.push_back(arc.to);
+      }
+    }
+    st_connected_[w] = from[t];
+  }
+}
+
+double WorldEnsemble::DeltaGain(NodeId u, NodeId v, double zeta) const {
+  int count = 0;
+  for (int w = 0; w < num_samples_; ++w) {
+    if (st_connected_[w]) continue;
+    const size_t base = static_cast<size_t>(w) * num_nodes_;
+    count += from_s_[base + u] && to_t_[base + v];
+  }
+  return zeta * static_cast<double>(count) / num_samples_;
+}
+
+double WorldEnsemble::DeltaGainUndirected(NodeId u, NodeId v,
+                                          double zeta) const {
+  int count = 0;
+  for (int w = 0; w < num_samples_; ++w) {
+    if (st_connected_[w]) continue;
+    const size_t base = static_cast<size_t>(w) * num_nodes_;
+    const bool forward = from_s_[base + u] && to_t_[base + v];
+    const bool backward = from_s_[base + v] && to_t_[base + u];
+    count += forward || backward;
+  }
+  return zeta * static_cast<double>(count) / num_samples_;
+}
+
+double WorldEnsemble::BaseReliability() const {
+  int count = 0;
+  for (char c : st_connected_) count += c;
+  return static_cast<double>(count) / num_samples_;
+}
+
+StatusOr<std::vector<Edge>> SelectIndividualTopKFast(
+    const UncertainGraph& g, NodeId s, NodeId t,
+    const std::vector<Edge>& candidates, const SolverOptions& options) {
+  RELMAX_RETURN_IF_ERROR(ValidateArgs(g, s, t, options));
+  const WorldEnsemble ensemble(g, s, t, options.num_samples,
+                               options.seed ^ 0xfa57);
+
+  std::vector<double> gains(candidates.size());
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    gains[i] = g.directed()
+                   ? ensemble.DeltaGain(candidates[i].src, candidates[i].dst,
+                                        candidates[i].prob)
+                   : ensemble.DeltaGainUndirected(
+                         candidates[i].src, candidates[i].dst,
+                         candidates[i].prob);
+  }
+  std::vector<int> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (gains[a] != gains[b]) return gains[a] > gains[b];
+    return a < b;
+  });
+  std::vector<Edge> chosen;
+  for (int i = 0;
+       i < static_cast<int>(order.size()) && i < options.budget_k; ++i) {
+    chosen.push_back(candidates[order[i]]);
+  }
+  return chosen;
+}
+
+StatusOr<std::vector<Edge>> SelectHillClimbingFast(
+    const UncertainGraph& g, NodeId s, NodeId t,
+    const std::vector<Edge>& candidates, const SolverOptions& options) {
+  RELMAX_RETURN_IF_ERROR(ValidateArgs(g, s, t, options));
+
+  UncertainGraph working = g;
+  std::vector<char> used(candidates.size(), 0);
+  std::vector<Edge> chosen;
+  for (int round = 0; round < options.budget_k; ++round) {
+    const WorldEnsemble ensemble(working, s, t, options.num_samples,
+                                 options.seed ^ (0xfa57c11 + round));
+    int best = -1;
+    double best_gain = -1.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const double gain =
+          working.directed()
+              ? ensemble.DeltaGain(candidates[i].src, candidates[i].dst,
+                                   candidates[i].prob)
+              : ensemble.DeltaGainUndirected(candidates[i].src,
+                                             candidates[i].dst,
+                                             candidates[i].prob);
+      if (gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    used[best] = 1;
+    chosen.push_back(candidates[best]);
+    (void)working.AddEdge(candidates[best].src, candidates[best].dst,
+                          candidates[best].prob);
+  }
+  return chosen;
+}
+
+}  // namespace relmax

@@ -1,0 +1,135 @@
+#include "baselines/greedy.h"
+
+#include <algorithm>
+
+#include "core/evaluate.h"
+
+namespace relmax {
+namespace {
+
+Status ValidateGreedyArgs(const UncertainGraph& g, NodeId s, NodeId t,
+                          const SolverOptions& options) {
+  if (s >= g.num_nodes() || t >= g.num_nodes()) {
+    return Status::OutOfRange("query node out of range");
+  }
+  if (options.budget_k <= 0) {
+    return Status::InvalidArgument("budget_k must be positive");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+StatusOr<std::vector<Edge>> SelectIndividualTopK(
+    const UncertainGraph& g, NodeId s, NodeId t,
+    const std::vector<Edge>& candidates, const SolverOptions& options) {
+  RELMAX_RETURN_IF_ERROR(ValidateGreedyArgs(g, s, t, options));
+
+  const double base = EstimateWithOptions(g, s, t, options, 0);
+  std::vector<double> gains(candidates.size(), 0.0);
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    const UncertainGraph augmented = AugmentGraph(g, {candidates[i]});
+    gains[i] = EstimateWithOptions(augmented, s, t, options, 0) - base;
+  }
+  std::vector<int> order(candidates.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  std::sort(order.begin(), order.end(), [&](int a, int b) {
+    if (gains[a] != gains[b]) return gains[a] > gains[b];
+    return a < b;
+  });
+
+  std::vector<Edge> chosen;
+  for (int i = 0;
+       i < static_cast<int>(order.size()) && i < options.budget_k; ++i) {
+    chosen.push_back(candidates[order[i]]);
+  }
+  return chosen;
+}
+
+StatusOr<std::vector<Edge>> SelectHillClimbing(
+    const UncertainGraph& g, NodeId s, NodeId t,
+    const std::vector<Edge>& candidates, const SolverOptions& options) {
+  RELMAX_RETURN_IF_ERROR(ValidateGreedyArgs(g, s, t, options));
+
+  UncertainGraph working = g;
+  std::vector<char> used(candidates.size(), 0);
+  std::vector<Edge> chosen;
+  for (int round = 0; round < options.budget_k; ++round) {
+    // Common random numbers within the round: every candidate is scored
+    // against the same seed salt so comparisons share sampling noise.
+    const uint64_t salt = 0x5e1ec7 + round;
+    const double base = EstimateWithOptions(working, s, t, options, salt);
+    int best = -1;
+    double best_gain = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const UncertainGraph augmented = AugmentGraph(working, {candidates[i]});
+      const double gain =
+          EstimateWithOptions(augmented, s, t, options, salt) - base;
+      if (best < 0 || gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;  // candidate pool exhausted
+    used[best] = 1;
+    chosen.push_back(candidates[best]);
+    const Status st = working.AddEdge(candidates[best].src,
+                                      candidates[best].dst,
+                                      candidates[best].prob);
+    RELMAX_DCHECK(st.ok());
+    (void)st;
+  }
+  return chosen;
+}
+
+StatusOr<std::vector<Edge>> SelectHillClimbingMulti(
+    const UncertainGraph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, Aggregate aggregate,
+    const std::vector<Edge>& candidates, const SolverOptions& options) {
+  if (sources.empty() || targets.empty()) {
+    return Status::InvalidArgument("sources and targets must be non-empty");
+  }
+  for (NodeId v : sources) {
+    if (v >= g.num_nodes()) return Status::OutOfRange("source out of range");
+  }
+  for (NodeId v : targets) {
+    if (v >= g.num_nodes()) return Status::OutOfRange("target out of range");
+  }
+  if (options.budget_k <= 0) {
+    return Status::InvalidArgument("budget_k must be positive");
+  }
+
+  UncertainGraph working = g;
+  std::vector<char> used(candidates.size(), 0);
+  std::vector<Edge> chosen;
+  for (int round = 0; round < options.budget_k; ++round) {
+    const uint64_t seed = options.seed ^ (0x517ab1ULL + round);
+    const double base = AggregateMatrix(
+        PairwiseReliability(working, sources, targets, options.num_samples,
+                            seed),
+        aggregate);
+    int best = -1;
+    double best_gain = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const UncertainGraph augmented = AugmentGraph(working, {candidates[i]});
+      const double value = AggregateMatrix(
+          PairwiseReliability(augmented, sources, targets,
+                              options.num_samples, seed),
+          aggregate);
+      if (best < 0 || value - base > best_gain) {
+        best_gain = value - base;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    used[best] = 1;
+    chosen.push_back(candidates[best]);
+    (void)working.AddEdge(candidates[best].src, candidates[best].dst,
+                          candidates[best].prob);
+  }
+  return chosen;
+}
+
+}  // namespace relmax

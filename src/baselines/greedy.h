@@ -1,0 +1,37 @@
+#ifndef RELMAX_BASELINES_GREEDY_H_
+#define RELMAX_BASELINES_GREEDY_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// §3.1 baseline: estimates the reliability gain of every candidate edge in
+/// isolation (full Monte Carlo re-estimation per candidate, as the paper
+/// measures it) and returns the k edges with the highest individual gains.
+/// Ignores interactions between chosen edges — the paper's accuracy critique.
+StatusOr<std::vector<Edge>> SelectIndividualTopK(
+    const UncertainGraph& g, NodeId s, NodeId t,
+    const std::vector<Edge>& candidates, const SolverOptions& options);
+
+/// §3.2 baseline (Algorithm 1): greedy hill climbing — k rounds, each adding
+/// the candidate with the largest marginal reliability gain, re-estimated by
+/// full sampling against the current augmented graph. No approximation
+/// guarantee exists (Problem 1 is neither submodular nor supermodular).
+StatusOr<std::vector<Edge>> SelectHillClimbing(
+    const UncertainGraph& g, NodeId s, NodeId t,
+    const std::vector<Edge>& candidates, const SolverOptions& options);
+
+/// Hill climbing against a multiple-source-target aggregate objective
+/// (used as the "HC" competitor in the paper's Tables 23–25).
+StatusOr<std::vector<Edge>> SelectHillClimbingMulti(
+    const UncertainGraph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, Aggregate aggregate,
+    const std::vector<Edge>& candidates, const SolverOptions& options);
+
+}  // namespace relmax
+
+#endif  // RELMAX_BASELINES_GREEDY_H_

@@ -1,0 +1,54 @@
+#include "baselines/ima.h"
+
+#include "core/evaluate.h"
+
+namespace relmax {
+
+StatusOr<std::vector<Edge>> SelectIma(const UncertainGraph& g,
+                                      const std::vector<NodeId>& sources,
+                                      const std::vector<NodeId>& targets,
+                                      const std::vector<Edge>& candidates,
+                                      const SolverOptions& options) {
+  if (sources.empty() || targets.empty()) {
+    return Status::InvalidArgument("sources and targets must be non-empty");
+  }
+  for (NodeId v : sources) {
+    if (v >= g.num_nodes()) return Status::OutOfRange("source out of range");
+  }
+  for (NodeId v : targets) {
+    if (v >= g.num_nodes()) return Status::OutOfRange("target out of range");
+  }
+  if (options.budget_k <= 0) {
+    return Status::InvalidArgument("budget_k must be positive");
+  }
+
+  UncertainGraph working = g;
+  std::vector<char> used(candidates.size(), 0);
+  std::vector<Edge> chosen;
+  for (int round = 0; round < options.budget_k; ++round) {
+    const uint64_t seed = options.seed ^ (0x13a + round);
+    const double base = InfluenceSpread(working, sources, targets,
+                                        options.num_samples, seed);
+    int best = -1;
+    double best_gain = 0.0;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (used[i]) continue;
+      const UncertainGraph augmented = AugmentGraph(working, {candidates[i]});
+      const double gain = InfluenceSpread(augmented, sources, targets,
+                                          options.num_samples, seed) -
+                          base;
+      if (best < 0 || gain > best_gain) {
+        best_gain = gain;
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) break;
+    used[best] = 1;
+    chosen.push_back(candidates[best]);
+    (void)working.AddEdge(candidates[best].src, candidates[best].dst,
+                          candidates[best].prob);
+  }
+  return chosen;
+}
+
+}  // namespace relmax

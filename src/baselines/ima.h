@@ -1,0 +1,25 @@
+#ifndef RELMAX_BASELINES_IMA_H_
+#define RELMAX_BASELINES_IMA_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Re-implementation of the §8.3 competitor "IMA" (after Coro et al. [38]):
+/// greedily adds the candidate edge that most increases the independent-
+/// cascade influence spread from the source set into the target set
+/// (Equation 13). With |S| = |T| = 1 its objective coincides with s-t
+/// reliability, matching the paper's observation in Table 25.
+StatusOr<std::vector<Edge>> SelectIma(const UncertainGraph& g,
+                                      const std::vector<NodeId>& sources,
+                                      const std::vector<NodeId>& targets,
+                                      const std::vector<Edge>& candidates,
+                                      const SolverOptions& options);
+
+}  // namespace relmax
+
+#endif  // RELMAX_BASELINES_IMA_H_

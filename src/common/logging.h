@@ -1,0 +1,37 @@
+#ifndef RELMAX_COMMON_LOGGING_H_
+#define RELMAX_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace relmax {
+namespace internal {
+
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "RELMAX_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace internal
+}  // namespace relmax
+
+/// Fatal invariant check, enabled in all build modes. Use for conditions that
+/// indicate a bug in the caller (contract violations), never for recoverable
+/// errors — those return Status.
+#define RELMAX_CHECK(cond)                                         \
+  do {                                                             \
+    if (!(cond))                                                   \
+      ::relmax::internal::CheckFailed(#cond, __FILE__, __LINE__);  \
+  } while (0)
+
+/// Debug-only invariant check (compiled out with NDEBUG).
+#ifdef NDEBUG
+#define RELMAX_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define RELMAX_DCHECK(cond) RELMAX_CHECK(cond)
+#endif
+
+#endif  // RELMAX_COMMON_LOGGING_H_

@@ -1,0 +1,33 @@
+#include "common/memory.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace relmax {
+namespace {
+
+// Parses a "VmXXX:   12345 kB" line value from /proc/self/status.
+size_t ReadProcStatusKb(const char* key) {
+  FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  size_t kb = 0;
+  const size_t key_len = std::strlen(key);
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (std::strncmp(line, key, key_len) == 0) {
+      unsigned long long value = 0;
+      if (std::sscanf(line + key_len, ": %llu", &value) == 1) kb = value;
+      break;
+    }
+  }
+  std::fclose(f);
+  return kb * 1024;
+}
+
+}  // namespace
+
+size_t CurrentRssBytes() { return ReadProcStatusKb("VmRSS"); }
+
+size_t PeakRssBytes() { return ReadProcStatusKb("VmHWM"); }
+
+}  // namespace relmax

@@ -1,0 +1,23 @@
+#ifndef RELMAX_COMMON_MEMORY_H_
+#define RELMAX_COMMON_MEMORY_H_
+
+#include <cstddef>
+
+namespace relmax {
+
+/// Current resident set size of this process in bytes (Linux /proc based;
+/// returns 0 where unavailable).
+size_t CurrentRssBytes();
+
+/// Peak resident set size of this process in bytes (Linux /proc based;
+/// returns 0 where unavailable). Reported in the paper's memory columns.
+size_t PeakRssBytes();
+
+/// Convenience: bytes -> fractional GiB for table output.
+inline double BytesToGiB(size_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0 * 1024.0);
+}
+
+}  // namespace relmax
+
+#endif  // RELMAX_COMMON_MEMORY_H_

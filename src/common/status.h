@@ -1,0 +1,123 @@
+#ifndef RELMAX_COMMON_STATUS_H_
+#define RELMAX_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "common/logging.h"
+
+namespace relmax {
+
+/// Error codes for fallible library operations. Library code never throws;
+/// recoverable failures are reported through Status / StatusOr (RocksDB idiom).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kAlreadyExists,
+  kInternal,
+  kIoError,
+};
+
+/// Lightweight success-or-error result for operations with no payload.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: k must be positive".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of a
+/// failed result is a programmer error (DCHECK).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from value — enables `return value;` in StatusOr functions.
+  StatusOr(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status. `status.ok()` must be false.
+  StatusOr(Status status) : repr_(std::move(status)) {  // NOLINT
+    RELMAX_DCHECK(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    RELMAX_DCHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    RELMAX_DCHECK(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    RELMAX_DCHECK(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define RELMAX_RETURN_IF_ERROR(expr)          \
+  do {                                        \
+    ::relmax::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+}  // namespace relmax
+
+#endif  // RELMAX_COMMON_STATUS_H_

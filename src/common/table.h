@@ -1,0 +1,51 @@
+#ifndef RELMAX_COMMON_TABLE_H_
+#define RELMAX_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace relmax {
+
+/// ASCII table writer used by the benchmark harness to print paper-shaped
+/// rows (reliability gains, running times, memory usage) with aligned
+/// columns.
+///
+/// Usage:
+///   TablePrinter t({"Method", "Gain", "Time (s)"});
+///   t.AddRow({"BE", Fmt(0.33), Fmt(22.1)});
+///   t.Print();
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row; the cell count must match the header count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders the table (headers, separator, rows) to a string.
+  std::string ToString() const;
+
+  /// Prints the rendered table to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` fractional digits (default 3).
+std::string Fmt(double value, int precision = 3);
+
+/// Formats an integral count.
+std::string Fmt(int64_t value);
+inline std::string Fmt(int value) { return Fmt(static_cast<int64_t>(value)); }
+inline std::string Fmt(uint32_t value) {
+  return Fmt(static_cast<int64_t>(value));
+}
+inline std::string Fmt(size_t value) {
+  return Fmt(static_cast<int64_t>(value));
+}
+
+}  // namespace relmax
+
+#endif  // RELMAX_COMMON_TABLE_H_

@@ -1,0 +1,32 @@
+#ifndef RELMAX_COMMON_TIMER_H_
+#define RELMAX_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace relmax {
+
+/// Monotonic wall-clock stopwatch used by the bench harness and the solvers'
+/// timing breakdowns.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace relmax
+
+#endif  // RELMAX_COMMON_TIMER_H_

@@ -1,0 +1,58 @@
+#ifndef RELMAX_CORE_BUDGET_EXTENSION_H_
+#define RELMAX_CORE_BUDGET_EXTENSION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// The paper's closing future-work problem (§9): instead of k new edges with
+/// a fixed probability ζ each, the planner holds one *total reliability
+/// budget* B to distribute across at most k new edges — "this will add more
+/// complexity on selecting proper candidate edges and allocating reliability
+/// budget to them".
+///
+/// This module implements that extension with a greedy unit-allocation
+/// scheme: the budget is discretized into `units` increments; each increment
+/// goes to the candidate edge (new or already part of the solution, as long
+/// as at most k distinct edges are used) whose probability bump yields the
+/// largest marginal s-t reliability gain, estimated on the union subgraph of
+/// the top-l reliable paths. Increments that cannot improve any edge stop
+/// the allocation early.
+struct BudgetedSolution {
+  /// Chosen edges with their allocated probabilities (sum ≤ budget).
+  std::vector<Edge> added_edges;
+  double reliability_before = 0.0;
+  double reliability_after = 0.0;
+  /// Probability mass actually allocated.
+  double budget_used = 0.0;
+
+  double gain() const { return reliability_after - reliability_before; }
+};
+
+struct BudgetOptions {
+  /// Total probability mass to distribute (e.g. 2.0 = "two certain edges'
+  /// worth of reliability").
+  double total_budget = 2.0;
+  /// Max distinct new edges (the physical constraint stays).
+  int max_edges = 10;
+  /// Number of discrete allocation units the budget is split into.
+  int units = 20;
+  /// Cap on any single edge's probability.
+  double max_edge_prob = 0.95;
+};
+
+/// Solves the budgeted-probability variant on top of the standard pipeline
+/// (elimination via `options`, then greedy unit allocation). The fixed-ζ
+/// problem is the special case total_budget = k·ζ with all-or-nothing
+/// allocation.
+StatusOr<BudgetedSolution> MaximizeReliabilityWithProbabilityBudget(
+    const UncertainGraph& g, NodeId s, NodeId t,
+    const BudgetOptions& budget_options, const SolverOptions& options);
+
+}  // namespace relmax
+
+#endif  // RELMAX_CORE_BUDGET_EXTENSION_H_

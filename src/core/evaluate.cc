@@ -1,0 +1,229 @@
+#include "core/evaluate.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "graph/visit_marker.h"
+#include "sampling/reliability.h"
+#include "sampling/rss.h"
+
+namespace relmax {
+namespace {
+
+RssOptions MakeRssOptions(const SolverOptions& options, int num_samples,
+                          uint64_t seed_salt) {
+  RssOptions rss = options.rss;
+  rss.num_samples = num_samples;
+  rss.seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 1);
+  return rss;
+}
+
+}  // namespace
+
+double EstimateWithOptions(const UncertainGraph& g, NodeId s, NodeId t,
+                           const SolverOptions& options, uint64_t seed_salt) {
+  if (options.estimator == Estimator::kRss) {
+    RssSampler sampler(g, MakeRssOptions(options, options.num_samples,
+                                         seed_salt));
+    return sampler.Reliability(s, t);
+  }
+  return EstimateReliability(
+      g, s, t,
+      {.num_samples = options.num_samples,
+       .seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 1)});
+}
+
+std::vector<double> FromSourceWithOptions(const UncertainGraph& g, NodeId s,
+                                          const SolverOptions& options,
+                                          uint64_t seed_salt) {
+  if (options.estimator == Estimator::kRss) {
+    RssSampler sampler(
+        g, MakeRssOptions(options, options.elimination_samples, seed_salt));
+    return sampler.FromSource(s);
+  }
+  return ReliabilityFromSource(
+      g, s,
+      {.num_samples = options.elimination_samples,
+       .seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 3)});
+}
+
+std::vector<double> ToTargetWithOptions(const UncertainGraph& g, NodeId t,
+                                        const SolverOptions& options,
+                                        uint64_t seed_salt) {
+  if (options.estimator == Estimator::kRss) {
+    RssSampler sampler(
+        g, MakeRssOptions(options, options.elimination_samples, seed_salt));
+    return sampler.ToTarget(t);
+  }
+  return ReliabilityToTarget(
+      g, t,
+      {.num_samples = options.elimination_samples,
+       .seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 5)});
+}
+
+UncertainGraph AugmentGraph(const UncertainGraph& g,
+                            const std::vector<Edge>& edges) {
+  UncertainGraph augmented = g;
+  for (const Edge& e : edges) {
+    const Status st = augmented.AddEdge(e.src, e.dst, e.prob);
+    RELMAX_DCHECK(st.ok() || st.code() == StatusCode::kAlreadyExists);
+    (void)st;
+  }
+  return augmented;
+}
+
+PathUnionSubgraph::PathUnionSubgraph(const UncertainGraph& base, NodeId s,
+                                     NodeId t)
+    : base_(base),
+      graph_(base.directed() ? UncertainGraph::Directed(0)
+                             : UncertainGraph::Undirected(0)),
+      remap_(base.num_nodes(), kInvalidNode) {
+  s_ = Map(s);
+  t_ = Map(t);
+}
+
+NodeId PathUnionSubgraph::Map(NodeId v) {
+  RELMAX_DCHECK(v < remap_.size());
+  if (remap_[v] == kInvalidNode) remap_[v] = graph_.AddNode();
+  return remap_[v];
+}
+
+void PathUnionSubgraph::AddPath(const PathResult& path) {
+  for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
+    const NodeId u = path.nodes[i];
+    const NodeId v = path.nodes[i + 1];
+    const NodeId su = Map(u);
+    const NodeId sv = Map(v);
+    if (graph_.HasEdge(su, sv)) continue;
+    const auto prob = base_.EdgeProb(u, v);
+    RELMAX_DCHECK(prob.has_value());
+    const Status st = graph_.AddEdge(su, sv, *prob);
+    RELMAX_DCHECK(st.ok());
+    (void)st;
+  }
+}
+
+double PathUnionSubgraph::Reliability(const SolverOptions& options,
+                                      uint64_t seed_salt) const {
+  return EstimateWithOptions(graph_, s_, t_, options, seed_salt);
+}
+
+std::vector<std::vector<double>> PairwiseReliability(
+    const UncertainGraph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, int num_samples, uint64_t seed) {
+  RELMAX_CHECK(num_samples > 0);
+  const NodeId n = g.num_nodes();
+  for (NodeId v : sources) RELMAX_CHECK(v < n);
+  for (NodeId v : targets) RELMAX_CHECK(v < n);
+
+  std::vector<std::vector<int>> hits(
+      sources.size(), std::vector<int>(targets.size(), 0));
+  Rng rng(seed);
+  std::vector<char> present(g.num_edges());
+  VisitMarker visited(n);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+
+  for (int sample = 0; sample < num_samples; ++sample) {
+    // One shared world for every pair: flip each logical edge once.
+    for (size_t e = 0; e < g.num_edges(); ++e) {
+      present[e] = rng.NextBernoulli(g.EdgeById(static_cast<EdgeId>(e)).prob)
+                       ? 1
+                       : 0;
+    }
+    for (size_t si = 0; si < sources.size(); ++si) {
+      visited.NewEpoch();
+      queue.clear();
+      visited.Visit(sources[si]);
+      queue.push_back(sources[si]);
+      for (size_t head = 0; head < queue.size(); ++head) {
+        const NodeId u = queue[head];
+        for (const Arc& arc : g.OutArcs(u)) {
+          if (!present[arc.edge_id] || visited.Visited(arc.to)) continue;
+          visited.Visit(arc.to);
+          queue.push_back(arc.to);
+        }
+      }
+      for (size_t ti = 0; ti < targets.size(); ++ti) {
+        if (visited.Visited(targets[ti])) ++hits[si][ti];
+      }
+    }
+  }
+
+  std::vector<std::vector<double>> result(
+      sources.size(), std::vector<double>(targets.size(), 0.0));
+  for (size_t si = 0; si < sources.size(); ++si) {
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
+      result[si][ti] = static_cast<double>(hits[si][ti]) / num_samples;
+    }
+  }
+  return result;
+}
+
+double InfluenceSpread(const UncertainGraph& g,
+                       const std::vector<NodeId>& sources,
+                       const std::vector<NodeId>& targets, int num_samples,
+                       uint64_t seed) {
+  RELMAX_CHECK(num_samples > 0);
+  const NodeId n = g.num_nodes();
+  for (NodeId v : sources) RELMAX_CHECK(v < n);
+  for (NodeId v : targets) RELMAX_CHECK(v < n);
+
+  Rng rng(seed);
+  std::vector<char> present(g.num_edges());
+  VisitMarker visited(n);
+  std::vector<NodeId> queue;
+  queue.reserve(n);
+  int64_t reached_targets = 0;
+  for (int sample = 0; sample < num_samples; ++sample) {
+    for (size_t e = 0; e < g.num_edges(); ++e) {
+      present[e] = rng.NextBernoulli(g.EdgeById(static_cast<EdgeId>(e)).prob)
+                       ? 1
+                       : 0;
+    }
+    visited.NewEpoch();
+    queue.clear();
+    for (NodeId s : sources) {
+      if (visited.Visit(s)) queue.push_back(s);
+    }
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      for (const Arc& arc : g.OutArcs(u)) {
+        if (!present[arc.edge_id] || visited.Visited(arc.to)) continue;
+        visited.Visit(arc.to);
+        queue.push_back(arc.to);
+      }
+    }
+    for (NodeId t : targets) reached_targets += visited.Visited(t) ? 1 : 0;
+  }
+  return static_cast<double>(reached_targets) / num_samples;
+}
+
+double AggregateMatrix(const std::vector<std::vector<double>>& matrix,
+                       Aggregate agg) {
+  RELMAX_CHECK(!matrix.empty() && !matrix[0].empty());
+  double sum = 0.0;
+  double mn = 1.0;
+  double mx = 0.0;
+  size_t count = 0;
+  for (const auto& row : matrix) {
+    for (double r : row) {
+      sum += r;
+      mn = std::min(mn, r);
+      mx = std::max(mx, r);
+      ++count;
+    }
+  }
+  switch (agg) {
+    case Aggregate::kAverage:
+      return sum / static_cast<double>(count);
+    case Aggregate::kMinimum:
+      return mn;
+    case Aggregate::kMaximum:
+      return mx;
+  }
+  return 0.0;
+}
+
+}  // namespace relmax

@@ -1,0 +1,82 @@
+#ifndef RELMAX_CORE_EVALUATE_H_
+#define RELMAX_CORE_EVALUATE_H_
+
+#include <vector>
+
+#include "core/types.h"
+#include "graph/uncertain_graph.h"
+#include "paths/most_reliable_path.h"
+
+namespace relmax {
+
+/// Estimates R(s, t, g) with the estimator selected in `options` (MC or RSS)
+/// at `options.num_samples` samples. `seed_salt` decorrelates repeated
+/// evaluations inside iterative selection loops.
+double EstimateWithOptions(const UncertainGraph& g, NodeId s, NodeId t,
+                           const SolverOptions& options,
+                           uint64_t seed_salt = 0);
+
+/// Reliability of every node from s / to t with the selected estimator, at
+/// `options.elimination_samples` samples.
+std::vector<double> FromSourceWithOptions(const UncertainGraph& g, NodeId s,
+                                          const SolverOptions& options,
+                                          uint64_t seed_salt = 0);
+std::vector<double> ToTargetWithOptions(const UncertainGraph& g, NodeId t,
+                                        const SolverOptions& options,
+                                        uint64_t seed_salt = 0);
+
+/// Copy of `g` with `edges` added (existing duplicates are skipped).
+UncertainGraph AugmentGraph(const UncertainGraph& g,
+                            const std::vector<Edge>& edges);
+
+/// A compact graph assembled from the union of a set of paths' edges — the
+/// "subgraph induced by the path set" on which Algorithms 5/6 evaluate
+/// marginal reliability gains. Nodes are remapped densely.
+class PathUnionSubgraph {
+ public:
+  /// `base` supplies edge probabilities; paths refer to base node ids.
+  PathUnionSubgraph(const UncertainGraph& base, NodeId s, NodeId t);
+
+  /// Adds every edge of `path` (ignores edges already present). Node ids are
+  /// remapped lazily.
+  void AddPath(const PathResult& path);
+
+  /// R(s, t) on the current union, with the configured estimator.
+  double Reliability(const SolverOptions& options, uint64_t seed_salt) const;
+
+  size_t num_nodes() const { return graph_.num_nodes(); }
+  size_t num_edges() const { return graph_.num_edges(); }
+
+ private:
+  NodeId Map(NodeId v);
+
+  const UncertainGraph& base_;
+  UncertainGraph graph_;
+  std::vector<NodeId> remap_;  // base id -> compact id (kInvalidNode = none)
+  NodeId s_;
+  NodeId t_;
+};
+
+/// Pairwise reliability matrix R(s_i, t_j) over shared sampled worlds —
+/// the evaluation primitive for multiple-source-target objectives (§6).
+/// result[i][j] = R(sources[i], targets[j]).
+std::vector<std::vector<double>> PairwiseReliability(
+    const UncertainGraph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, int num_samples, uint64_t seed);
+
+/// Applies the aggregate F over a pairwise reliability matrix.
+double AggregateMatrix(const std::vector<std::vector<double>>& matrix,
+                       Aggregate agg);
+
+/// Expected number of targets reachable from at least one source — the
+/// independent-cascade influence spread restricted to the target set
+/// (Equation 13, §8.4.2). Under possible-world semantics IC activation
+/// equals reachability, so one shared world per sample suffices.
+double InfluenceSpread(const UncertainGraph& g,
+                       const std::vector<NodeId>& sources,
+                       const std::vector<NodeId>& targets, int num_samples,
+                       uint64_t seed);
+
+}  // namespace relmax
+
+#endif  // RELMAX_CORE_EVALUATE_H_

@@ -1,0 +1,44 @@
+#ifndef RELMAX_CORE_MULTI_H_
+#define RELMAX_CORE_MULTI_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Result of a multiple-source-target budgeted reliability maximization
+/// query (Problem 4).
+struct MultiSolution {
+  /// The chosen new edges E1 (|E1| ≤ k), each with probability ζ.
+  std::vector<Edge> added_edges;
+  /// Aggregate F over all s-t pair reliabilities before / after.
+  double aggregate_before = 0.0;
+  double aggregate_after = 0.0;
+  SolutionStats stats;
+
+  double gain() const { return aggregate_after - aggregate_before; }
+};
+
+/// Solves Problem 4: add up to k edges maximizing the aggregate F (average,
+/// minimum, or maximum) of R(s, t) over all pairs (s, t) ∈ S × T.
+///
+/// * Average (§6.1): one multi-pair candidate set, per-pair top-l paths, and
+///   path-batch selection against the average objective.
+/// * Minimum / Maximum (§6.2–6.3): iterative refinement — repeatedly run the
+///   single-pair BE solver with a per-round budget k1 on the pair currently
+///   attaining the extreme reliability, then re-estimate all pairs.
+///
+/// `batch_k1` is the per-round budget for Min/Max (paper's k1; defaults to
+/// max(1, k/10) when non-positive). Sources and targets must be disjoint
+/// non-empty sets.
+StatusOr<MultiSolution> MaximizeMultiReliability(
+    const UncertainGraph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, Aggregate aggregate,
+    const SolverOptions& options, int batch_k1 = -1);
+
+}  // namespace relmax
+
+#endif  // RELMAX_CORE_MULTI_H_

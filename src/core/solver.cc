@@ -1,0 +1,141 @@
+#include "core/solver.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/memory.h"
+#include "common/timer.h"
+#include "core/evaluate.h"
+#include "core/selection.h"
+#include "paths/layered_mrp.h"
+#include "paths/yen.h"
+
+namespace relmax {
+namespace {
+
+// Top-l most reliable s-t paths in g_plus, optionally computed on the
+// subgraph induced by the eliminated node set (C(s) ∪ C(t) ∪ {s, t}) and
+// mapped back to g_plus ids.
+std::vector<PathResult> FindTopPaths(const UncertainGraph& g_plus, NodeId s,
+                                     NodeId t, const CandidateSet& candidates,
+                                     const SolverOptions& options) {
+  if (!options.paths_on_eliminated_subgraph) {
+    return TopLReliablePaths(g_plus, s, t, options.top_l);
+  }
+  // Dense node list: s, t first, then the eliminated sets.
+  std::vector<NodeId> nodes;
+  std::unordered_set<NodeId> seen;
+  auto push = [&](NodeId v) {
+    if (seen.insert(v).second) nodes.push_back(v);
+  };
+  push(s);
+  push(t);
+  for (NodeId v : candidates.from_source) push(v);
+  for (NodeId v : candidates.to_target) push(v);
+  // Caller-supplied candidate sets may omit the node lists; make sure every
+  // candidate edge stays usable.
+  for (const Edge& e : candidates.edges) {
+    push(e.src);
+    push(e.dst);
+  }
+
+  auto sub = g_plus.InducedSubgraph(nodes);
+  RELMAX_CHECK(sub.ok());
+  std::vector<PathResult> mapped =
+      TopLReliablePaths(*sub, /*s=*/0, /*t=*/1, options.top_l);
+  for (PathResult& path : mapped) {
+    for (NodeId& v : path.nodes) v = nodes[v];
+  }
+  return mapped;
+}
+
+size_t CountDistinctCandidates(const std::vector<AnnotatedPath>& paths) {
+  std::set<int> distinct;
+  for (const AnnotatedPath& p : paths) {
+    distinct.insert(p.candidate_indices.begin(), p.candidate_indices.end());
+  }
+  return distinct.size();
+}
+
+}  // namespace
+
+StatusOr<Solution> MaximizeReliability(const UncertainGraph& g, NodeId s,
+                                       NodeId t, const SolverOptions& options,
+                                       CoreMethod method) {
+  if (s >= g.num_nodes() || t >= g.num_nodes()) {
+    return Status::OutOfRange("query node out of range");
+  }
+  WallTimer elimination_timer;
+  auto candidates = SelectCandidates(g, s, t, options);
+  RELMAX_RETURN_IF_ERROR(candidates.status());
+  const double elimination_seconds = elimination_timer.ElapsedSeconds();
+
+  auto solution =
+      MaximizeReliabilityWithCandidates(g, s, t, *candidates, options, method);
+  if (solution.ok()) {
+    solution->stats.elimination_seconds = elimination_seconds;
+    solution->stats.total_seconds += elimination_seconds;
+  }
+  return solution;
+}
+
+StatusOr<Solution> MaximizeReliabilityWithCandidates(
+    const UncertainGraph& g, NodeId s, NodeId t, const CandidateSet& candidates,
+    const SolverOptions& options, CoreMethod method) {
+  if (s >= g.num_nodes() || t >= g.num_nodes()) {
+    return Status::OutOfRange("query node out of range");
+  }
+  if (options.budget_k <= 0) {
+    return Status::InvalidArgument("budget_k must be positive");
+  }
+  if (options.top_l <= 0) {
+    return Status::InvalidArgument("top_l must be positive");
+  }
+  if (s == t) {  // degenerate query: reliability is already 1
+    Solution solution;
+    solution.reliability_before = 1.0;
+    solution.reliability_after = 1.0;
+    return solution;
+  }
+
+  Solution solution;
+  solution.stats.candidate_edges = candidates.edges.size();
+  solution.reliability_before = EstimateWithOptions(g, s, t, options, 0xbefe);
+
+  WallTimer selection_timer;
+  if (method == CoreMethod::kMostReliablePath) {
+    auto improvement = ImproveMostReliablePathWithCandidates(
+        g, s, t, options.budget_k, candidates.edges);
+    RELMAX_RETURN_IF_ERROR(improvement.status());
+    solution.added_edges = improvement->added_edges;
+  } else {
+    const UncertainGraph g_plus = AugmentGraph(g, candidates.edges);
+    const std::vector<PathResult> paths =
+        FindTopPaths(g_plus, s, t, candidates, options);
+    const std::vector<AnnotatedPath> annotated =
+        AnnotatePaths(g_plus, paths, candidates.edges);
+    solution.stats.paths_considered = annotated.size();
+    solution.stats.candidate_edges_after_path_filter =
+        CountDistinctCandidates(annotated);
+
+    const std::vector<int> indices =
+        method == CoreMethod::kBatchEdges
+            ? SelectEdgesByPathBatches(g_plus, s, t, annotated, options)
+            : SelectEdgesByIndividualPaths(g_plus, s, t, annotated, options);
+    solution.added_edges.reserve(indices.size());
+    for (int i : indices) solution.added_edges.push_back(candidates.edges[i]);
+  }
+  solution.stats.selection_seconds = selection_timer.ElapsedSeconds();
+  solution.stats.total_seconds = solution.stats.selection_seconds;
+
+  solution.reliability_after =
+      solution.added_edges.empty()
+          ? solution.reliability_before
+          : EstimateWithOptions(AugmentGraph(g, solution.added_edges), s, t,
+                                options, 0xafe);
+  solution.stats.peak_rss_bytes = PeakRssBytes();
+  return solution;
+}
+
+}  // namespace relmax

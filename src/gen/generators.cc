@@ -1,0 +1,252 @@
+#include "gen/generators.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_set>
+#include <utility>
+
+namespace relmax {
+namespace {
+
+// Adds edge (u, v), ignoring duplicates/self-loops. Returns true on insert.
+bool TryAdd(UncertainGraph* g, NodeId u, NodeId v) {
+  if (u == v || g->HasEdge(u, v)) return false;
+  return g->AddEdge(u, v, 0.0).ok();
+}
+
+}  // namespace
+
+StatusOr<UncertainGraph> GenerateRandomGnm(NodeId num_nodes, size_t num_edges,
+                                           Rng* rng) {
+  if (num_nodes < 2) return Status::InvalidArgument("need at least 2 nodes");
+  const double max_edges =
+      static_cast<double>(num_nodes) * (num_nodes - 1) / 2.0;
+  if (static_cast<double>(num_edges) > max_edges) {
+    return Status::InvalidArgument("num_edges exceeds complete graph size");
+  }
+  UncertainGraph g = UncertainGraph::Undirected(num_nodes);
+  while (g.num_edges() < num_edges) {
+    const NodeId u = static_cast<NodeId>(rng->NextUint64(num_nodes));
+    const NodeId v = static_cast<NodeId>(rng->NextUint64(num_nodes));
+    TryAdd(&g, u, v);
+  }
+  return g;
+}
+
+StatusOr<UncertainGraph> GenerateKRegular(NodeId num_nodes, int degree,
+                                          Rng* rng) {
+  if (degree <= 0 || degree >= static_cast<int>(num_nodes)) {
+    return Status::InvalidArgument("degree must be in [1, n)");
+  }
+  if ((static_cast<uint64_t>(num_nodes) * degree) % 2 != 0) {
+    return Status::InvalidArgument("n * k must be even");
+  }
+  // Pairing model on a raw edge set (the graph type has no edge removal, so
+  // repair happens before materialization). Collided stubs are re-shuffled;
+  // a final double-edge-swap pass fixes stragglers.
+  auto key = [](NodeId a, NodeId b) {
+    if (a > b) std::swap(a, b);
+    return (static_cast<uint64_t>(a) << 32) | b;
+  };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::unordered_set<uint64_t> present;
+  std::vector<NodeId> stubs;
+  stubs.reserve(static_cast<size_t>(num_nodes) * degree);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    for (int i = 0; i < degree; ++i) stubs.push_back(v);
+  }
+
+  for (int round = 0; round < 100 && !stubs.empty(); ++round) {
+    std::shuffle(stubs.begin(), stubs.end(), *rng);
+    std::vector<NodeId> leftover;
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const NodeId u = stubs[i];
+      const NodeId v = stubs[i + 1];
+      if (u == v || present.count(key(u, v)) > 0) {
+        leftover.push_back(u);
+        leftover.push_back(v);
+        continue;
+      }
+      present.insert(key(u, v));
+      edges.push_back({u, v});
+    }
+    stubs.swap(leftover);
+  }
+  // Swap repair: for an unmatched stub pair (u, v), find an existing edge
+  // (a, b) such that (u, a) and (v, b) are both new; replace it.
+  while (stubs.size() >= 2) {
+    const NodeId u = stubs[stubs.size() - 2];
+    const NodeId v = stubs[stubs.size() - 1];
+    bool fixed = false;
+    for (int tries = 0; tries < 10000 && !fixed; ++tries) {
+      const size_t idx = rng->NextUint64(edges.size());
+      const auto [a, b] = edges[idx];
+      if (u == a || v == b || present.count(key(u, a)) > 0 ||
+          present.count(key(v, b)) > 0 || key(u, a) == key(v, b)) {
+        continue;
+      }
+      present.erase(key(a, b));
+      edges[idx] = {u, a};
+      present.insert(key(u, a));
+      edges.push_back({v, b});
+      present.insert(key(v, b));
+      fixed = true;
+    }
+    if (!fixed) {
+      return Status::Internal("pairing model failed to converge");
+    }
+    stubs.pop_back();
+    stubs.pop_back();
+  }
+
+  UncertainGraph g = UncertainGraph::Undirected(num_nodes);
+  for (const auto& [u, v] : edges) {
+    const Status st = g.AddEdge(u, v, 0.0);
+    RELMAX_DCHECK(st.ok());
+    (void)st;
+  }
+  return g;
+}
+
+StatusOr<UncertainGraph> GenerateRingLattice(NodeId num_nodes, int k) {
+  if (k < 2 || k >= static_cast<int>(num_nodes)) {
+    return Status::InvalidArgument("k must be in [2, n)");
+  }
+  if (k % 2 == 1 && num_nodes % 2 == 1) {
+    return Status::InvalidArgument("odd k needs an even node count");
+  }
+  UncertainGraph g = UncertainGraph::Undirected(num_nodes);
+  const int half = k / 2;
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (int j = 1; j <= half; ++j) {
+      TryAdd(&g, u, static_cast<NodeId>((u + j) % num_nodes));
+    }
+    if (k % 2 == 1) {  // antipodal chord completes an odd degree
+      TryAdd(&g, u, static_cast<NodeId>((u + num_nodes / 2) % num_nodes));
+    }
+  }
+  return g;
+}
+
+StatusOr<UncertainGraph> GenerateSmallWorld(NodeId num_nodes, int k,
+                                            double rewire_prob, Rng* rng) {
+  if (k < 2 || k >= static_cast<int>(num_nodes)) {
+    return Status::InvalidArgument("k must be in [2, n)");
+  }
+  if (rewire_prob < 0.0 || rewire_prob > 1.0) {
+    return Status::InvalidArgument("rewire_prob must be in [0, 1]");
+  }
+  // Walk the ring-lattice edges (u, u+j); each is kept or, with probability
+  // rewire_prob, redirected from u to a uniform random head (Watts-Strogatz).
+  // UncertainGraph deliberately has no edge removal (solvers only ever add),
+  // so the decision is made while building.
+  const int half = k / 2;
+  UncertainGraph g = UncertainGraph::Undirected(num_nodes);
+  for (NodeId u = 0; u < num_nodes; ++u) {
+    for (int j = 1; j <= half; ++j) {
+      const NodeId v = static_cast<NodeId>((u + j) % num_nodes);
+      if (rng->NextBernoulli(rewire_prob)) {
+        NodeId w = static_cast<NodeId>(rng->NextUint64(num_nodes));
+        int tries = 0;
+        while ((w == u || g.HasEdge(u, w)) && tries++ < 64) {
+          w = static_cast<NodeId>(rng->NextUint64(num_nodes));
+        }
+        if (w != u && !g.HasEdge(u, w)) {
+          TryAdd(&g, u, w);
+          continue;
+        }
+      }
+      TryAdd(&g, u, v);
+    }
+  }
+  return g;
+}
+
+StatusOr<UncertainGraph> GenerateScaleFree(NodeId num_nodes,
+                                           int edges_per_node, Rng* rng,
+                                           int alternate_m) {
+  const int m_max = std::max(edges_per_node, alternate_m);
+  if (edges_per_node < 1 || m_max >= static_cast<int>(num_nodes)) {
+    return Status::InvalidArgument("edges_per_node must be in [1, n)");
+  }
+  UncertainGraph g = UncertainGraph::Undirected(num_nodes);
+  // Repeated-endpoint list: sampling uniformly from it realizes preferential
+  // attachment (each node appears once per incident edge).
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<size_t>(num_nodes) * (m_max + 1) * 2);
+
+  // Seed clique over the first m_max + 1 nodes.
+  const NodeId seed_size = static_cast<NodeId>(m_max + 1);
+  for (NodeId u = 0; u < seed_size && u < num_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      if (TryAdd(&g, u, v)) {
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+      }
+    }
+  }
+  for (NodeId u = seed_size; u < num_nodes; ++u) {
+    const int m = (alternate_m > 0 && u % 2 == 0) ? alternate_m
+                                                  : edges_per_node;
+    int added = 0;
+    int guard = 0;
+    while (added < m && guard++ < 64 * m) {
+      const NodeId v = endpoints[rng->NextUint64(endpoints.size())];
+      if (TryAdd(&g, u, v)) {
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+StatusOr<UncertainGraph> GeneratePowerlawCluster(NodeId num_nodes,
+                                                 int edges_per_node,
+                                                 double triad_prob, Rng* rng) {
+  if (edges_per_node < 1 ||
+      edges_per_node >= static_cast<int>(num_nodes)) {
+    return Status::InvalidArgument("edges_per_node must be in [1, n)");
+  }
+  if (triad_prob < 0.0 || triad_prob > 1.0) {
+    return Status::InvalidArgument("triad_prob must be in [0, 1]");
+  }
+  UncertainGraph g = UncertainGraph::Undirected(num_nodes);
+  std::vector<NodeId> endpoints;
+  const NodeId seed_size = static_cast<NodeId>(edges_per_node + 1);
+  for (NodeId u = 0; u < seed_size && u < num_nodes; ++u) {
+    for (NodeId v = u + 1; v < seed_size; ++v) {
+      if (TryAdd(&g, u, v)) {
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+      }
+    }
+  }
+  for (NodeId u = seed_size; u < num_nodes; ++u) {
+    NodeId last_attached = kInvalidNode;
+    int added = 0;
+    int guard = 0;
+    while (added < edges_per_node && guard++ < 64 * edges_per_node) {
+      NodeId v = kInvalidNode;
+      // Triad step: close a triangle through a neighbor of the previous
+      // attachment (Holme-Kim).
+      if (last_attached != kInvalidNode && rng->NextBernoulli(triad_prob) &&
+          !g.OutArcs(last_attached).empty()) {
+        const auto& arcs = g.OutArcs(last_attached);
+        v = arcs[rng->NextUint64(arcs.size())].to;
+      } else {
+        v = endpoints[rng->NextUint64(endpoints.size())];
+      }
+      if (TryAdd(&g, u, v)) {
+        endpoints.push_back(u);
+        endpoints.push_back(v);
+        last_attached = v;
+        ++added;
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace relmax

@@ -1,0 +1,55 @@
+#ifndef RELMAX_GEN_GENERATORS_H_
+#define RELMAX_GEN_GENERATORS_H_
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Native re-implementations of the four NetworkX generators the paper uses
+/// for its synthetic datasets (§8.1). All emit undirected graphs with edge
+/// probability 0 (assign probabilities with gen/prob_models.h) and are
+/// deterministic for a fixed Rng state.
+
+/// Erdős–Rényi G(n, m): exactly `num_edges` distinct uniform random edges
+/// (the G(n, p) variant the paper uses has this expected density).
+StatusOr<UncertainGraph> GenerateRandomGnm(NodeId num_nodes, size_t num_edges,
+                                           Rng* rng);
+
+/// Random k-regular graph via the pairing (configuration) model with
+/// collision re-shuffling and double-edge-swap repair. n·k must be even;
+/// k < n.
+StatusOr<UncertainGraph> GenerateKRegular(NodeId num_nodes, int degree,
+                                          Rng* rng);
+
+/// Deterministic circulant ring lattice: every node links to k/2 neighbors
+/// per side (odd k adds the antipodal chord, requiring even n). This is the
+/// "Regular" dataset family of Table 8 — uniform degree, long average
+/// shortest paths, and high clustering, unlike a *random* regular graph.
+StatusOr<UncertainGraph> GenerateRingLattice(NodeId num_nodes, int k);
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors
+/// (k/2 per side), each edge rewired with probability `rewire_prob`.
+StatusOr<UncertainGraph> GenerateSmallWorld(NodeId num_nodes, int k,
+                                            double rewire_prob, Rng* rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches
+/// `edges_per_node` edges. When `alternate_m` > 0, the per-node edge count
+/// alternates between `edges_per_node` and `alternate_m` — the paper's
+/// modification for ScaleFree 1 (m alternating 2 and 3).
+StatusOr<UncertainGraph> GenerateScaleFree(NodeId num_nodes,
+                                           int edges_per_node, Rng* rng,
+                                           int alternate_m = 0);
+
+/// Holme–Kim powerlaw-cluster graph: Barabási–Albert with probability
+/// `triad_prob` of closing a triangle after each attachment — scale-free
+/// degree with tunable clustering (used for the DBLP-like stand-in, whose
+/// clustering coefficient is 0.63).
+StatusOr<UncertainGraph> GeneratePowerlawCluster(NodeId num_nodes,
+                                                 int edges_per_node,
+                                                 double triad_prob, Rng* rng);
+
+}  // namespace relmax
+
+#endif  // RELMAX_GEN_GENERATORS_H_

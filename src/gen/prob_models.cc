@@ -1,0 +1,55 @@
+#include "gen/prob_models.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relmax {
+namespace {
+
+void ForEachEdge(UncertainGraph* g, auto&& prob_of) {
+  // Snapshot the edge list; UpdateEdgeProb does not invalidate it.
+  for (const Edge& e : g->EdgesById()) {
+    const double p = std::clamp(prob_of(e), 0.0, 1.0);
+    const Status st = g->UpdateEdgeProb(e.src, e.dst, p);
+    RELMAX_DCHECK(st.ok());
+    (void)st;
+  }
+}
+
+}  // namespace
+
+void AssignUniformProbabilities(UncertainGraph* g, double lo, double hi,
+                                Rng* rng) {
+  RELMAX_CHECK(lo < hi);
+  ForEachEdge(g, [&](const Edge&) { return rng->NextDouble(lo, hi); });
+}
+
+void AssignNormalProbabilities(UncertainGraph* g, double mean, double sd,
+                               Rng* rng) {
+  RELMAX_CHECK(sd >= 0.0);
+  ForEachEdge(g, [&](const Edge&) {
+    return std::clamp(mean + sd * rng->NextGaussian(), 0.001, 1.0);
+  });
+}
+
+void AssignInverseOutDegreeProbabilities(UncertainGraph* g) {
+  ForEachEdge(g, [&](const Edge& e) {
+    const size_t deg = g->OutArcs(e.src).size();
+    return deg == 0 ? 0.0 : 1.0 / static_cast<double>(deg);
+  });
+}
+
+void AssignExponentialCdfProbabilities(UncertainGraph* g, double mean_count,
+                                       double mu, Rng* rng) {
+  RELMAX_CHECK(mean_count >= 1.0);
+  RELMAX_CHECK(mu > 0.0);
+  // t = 1 + Geometric(success prob 1 / mean_count): mean = mean_count.
+  const double q = 1.0 / mean_count;
+  ForEachEdge(g, [&](const Edge&) {
+    int t = 1;
+    while (!rng->NextBernoulli(q) && t < 1000) ++t;
+    return 1.0 - std::exp(-static_cast<double>(t) / mu);
+  });
+}
+
+}  // namespace relmax

@@ -1,0 +1,33 @@
+#ifndef RELMAX_GEN_PROB_MODELS_H_
+#define RELMAX_GEN_PROB_MODELS_H_
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Edge-probability models used in the paper's evaluation (§8.1, "Edge
+/// probability models"). Each rewrites the probability of every edge of `g`
+/// in place.
+
+/// Uniform at random from (lo, hi] — the synthetic datasets use (0, 0.6].
+void AssignUniformProbabilities(UncertainGraph* g, double lo, double hi,
+                                Rng* rng);
+
+/// Normal N(mean, sd), clipped into (0.001, 1] — Table 16's N(0.5, 0.038).
+void AssignNormalProbabilities(UncertainGraph* g, double mean, double sd,
+                               Rng* rng);
+
+/// LastFM model: p(u, v) = 1 / out-degree(u) (for undirected graphs the
+/// degree of the canonical source endpoint).
+void AssignInverseOutDegreeProbabilities(UncertainGraph* g);
+
+/// DBLP/Twitter model: p(e) = 1 − e^{−t/μ}, the exponential CDF of an
+/// interaction count t drawn per edge as 1 + Geometric(mean_count − 1).
+/// The paper uses μ = 20.
+void AssignExponentialCdfProbabilities(UncertainGraph* g, double mean_count,
+                                       double mu, Rng* rng);
+
+}  // namespace relmax
+
+#endif  // RELMAX_GEN_PROB_MODELS_H_

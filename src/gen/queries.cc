@@ -1,0 +1,100 @@
+#include "gen/queries.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "graph/bfs.h"
+
+namespace relmax {
+namespace {
+
+Status ValidateQueryGen(const UncertainGraph& g,
+                        const QueryGenOptions& options) {
+  if (g.num_nodes() < 2) {
+    return Status::InvalidArgument("graph too small for queries");
+  }
+  if (options.min_hops < 1 || options.max_hops < options.min_hops) {
+    return Status::InvalidArgument("need 1 <= min_hops <= max_hops");
+  }
+  return Status::Ok();
+}
+
+// Nodes whose hop distance from src lies in [lo, hi].
+std::vector<NodeId> RingAround(const UncertainGraph& g, NodeId src, int lo,
+                               int hi) {
+  const std::vector<int> dist = HopDistances(g, src, hi);
+  std::vector<NodeId> ring;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (dist[v] >= lo && dist[v] <= hi) ring.push_back(v);
+  }
+  return ring;
+}
+
+}  // namespace
+
+StatusOr<std::vector<std::pair<NodeId, NodeId>>> GenerateQueries(
+    const UncertainGraph& g, int count, const QueryGenOptions& options) {
+  RELMAX_RETURN_IF_ERROR(ValidateQueryGen(g, options));
+  if (count <= 0) return Status::InvalidArgument("count must be positive");
+
+  Rng rng(options.seed);
+  std::vector<std::pair<NodeId, NodeId>> queries;
+  int attempts = 0;
+  while (static_cast<int>(queries.size()) < count) {
+    if (++attempts > options.max_attempts) {
+      return Status::FailedPrecondition(
+          "could not find enough query pairs at the requested distance");
+    }
+    const NodeId s = static_cast<NodeId>(rng.NextUint64(g.num_nodes()));
+    const std::vector<NodeId> ring =
+        RingAround(g, s, options.min_hops, options.max_hops);
+    if (ring.empty()) continue;
+    const NodeId t = ring[rng.NextUint64(ring.size())];
+    queries.push_back({s, t});
+  }
+  return queries;
+}
+
+StatusOr<MultiQuery> GenerateMultiQuery(const UncertainGraph& g, int set_size,
+                                        const QueryGenOptions& options) {
+  RELMAX_RETURN_IF_ERROR(ValidateQueryGen(g, options));
+  if (set_size <= 0) return Status::InvalidArgument("set_size positive");
+
+  Rng rng(options.seed);
+  for (int attempt = 0; attempt < options.max_attempts; ++attempt) {
+    auto seed_pair = GenerateQueries(g, 1, {.min_hops = options.min_hops,
+                                            .max_hops = options.max_hops,
+                                            .seed = rng.Next()});
+    if (!seed_pair.ok()) return seed_pair.status();
+    const auto [s, t] = (*seed_pair)[0];
+
+    std::vector<NodeId> near_s = RingAround(g, s, 0, 5);
+    std::vector<NodeId> near_t = RingAround(g, t, 0, 5);
+    if (static_cast<int>(near_s.size()) < set_size ||
+        static_cast<int>(near_t.size()) < set_size) {
+      continue;
+    }
+    std::shuffle(near_s.begin(), near_s.end(), rng);
+    std::shuffle(near_t.begin(), near_t.end(), rng);
+
+    MultiQuery query;
+    std::unordered_set<NodeId> taken;
+    for (NodeId v : near_s) {
+      if (static_cast<int>(query.sources.size()) >= set_size) break;
+      if (taken.insert(v).second) query.sources.push_back(v);
+    }
+    for (NodeId v : near_t) {
+      if (static_cast<int>(query.targets.size()) >= set_size) break;
+      if (taken.insert(v).second) query.targets.push_back(v);
+    }
+    if (static_cast<int>(query.sources.size()) == set_size &&
+        static_cast<int>(query.targets.size()) == set_size) {
+      return query;
+    }
+  }
+  return Status::FailedPrecondition(
+      "could not assemble disjoint source/target sets of the requested size");
+}
+
+}  // namespace relmax

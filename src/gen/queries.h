@@ -1,0 +1,40 @@
+#ifndef RELMAX_GEN_QUERIES_H_
+#define RELMAX_GEN_QUERIES_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Query generation following the paper's protocol (§8.1): a source chosen
+/// uniformly at random and a target among its `min_hops`..`max_hops`-hop
+/// neighbors (close pairs are already reliable, remote ones hopeless).
+struct QueryGenOptions {
+  int min_hops = 3;
+  int max_hops = 5;
+  uint64_t seed = 42;
+  /// Attempts before giving up on a badly-connected graph.
+  int max_attempts = 10000;
+};
+
+/// Generates `count` single-source-target queries.
+StatusOr<std::vector<std::pair<NodeId, NodeId>>> GenerateQueries(
+    const UncertainGraph& g, int count, const QueryGenOptions& options = {});
+
+/// A multiple-source-target query: q sources within 5 hops of a seed source
+/// and q targets within 5 hops of a seed target, disjoint (§8.1).
+struct MultiQuery {
+  std::vector<NodeId> sources;
+  std::vector<NodeId> targets;
+};
+
+/// Generates one multi query with |sources| = |targets| = set_size.
+StatusOr<MultiQuery> GenerateMultiQuery(const UncertainGraph& g, int set_size,
+                                        const QueryGenOptions& options = {});
+
+}  // namespace relmax
+
+#endif  // RELMAX_GEN_QUERIES_H_

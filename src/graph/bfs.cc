@@ -1,0 +1,47 @@
+#include "graph/bfs.h"
+
+#include <queue>
+
+namespace relmax {
+namespace {
+
+template <typename ArcsFn>
+std::vector<int> BfsImpl(NodeId n, NodeId src, int max_hops, ArcsFn arcs_of) {
+  std::vector<int> dist(n, kUnreachable);
+  dist[src] = 0;
+  std::queue<NodeId> queue;
+  queue.push(src);
+  while (!queue.empty()) {
+    const NodeId u = queue.front();
+    queue.pop();
+    if (max_hops >= 0 && dist[u] >= max_hops) continue;
+    arcs_of(u, [&](NodeId v) {
+      if (dist[v] == kUnreachable) {
+        dist[v] = dist[u] + 1;
+        queue.push(v);
+      }
+    });
+  }
+  return dist;
+}
+
+}  // namespace
+
+std::vector<int> HopDistances(const UncertainGraph& g, NodeId src,
+                              int max_hops) {
+  return BfsImpl(g.num_nodes(), src, max_hops, [&](NodeId u, auto&& visit) {
+    for (const Arc& a : g.OutArcs(u)) visit(a.to);
+  });
+}
+
+std::vector<int> UndirectedHopDistances(const UncertainGraph& g, NodeId src,
+                                        int max_hops) {
+  return BfsImpl(g.num_nodes(), src, max_hops, [&](NodeId u, auto&& visit) {
+    for (const Arc& a : g.OutArcs(u)) visit(a.to);
+    if (g.directed()) {
+      for (const Arc& a : g.InArcs(u)) visit(a.to);
+    }
+  });
+}
+
+}  // namespace relmax

@@ -1,0 +1,27 @@
+#ifndef RELMAX_GRAPH_BFS_H_
+#define RELMAX_GRAPH_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Unreachable marker for hop distances.
+inline constexpr int kUnreachable = -1;
+
+/// Hop distances from `src` following out-arcs (edge probabilities ignored),
+/// truncated at `max_hops` (kUnreachable beyond). `max_hops < 0` means
+/// unbounded.
+std::vector<int> HopDistances(const UncertainGraph& g, NodeId src,
+                              int max_hops = -1);
+
+/// Hop distances from `src` ignoring arc direction — used for the paper's
+/// h-hop constraint on candidate edges, which models physical proximity.
+std::vector<int> UndirectedHopDistances(const UncertainGraph& g, NodeId src,
+                                        int max_hops = -1);
+
+}  // namespace relmax
+
+#endif  // RELMAX_GRAPH_BFS_H_

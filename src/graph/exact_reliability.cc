@@ -1,0 +1,164 @@
+#include "graph/exact_reliability.h"
+
+#include <queue>
+#include <vector>
+
+namespace relmax {
+namespace {
+
+Status ValidateQuery(const UncertainGraph& g, NodeId s, NodeId t) {
+  if (s >= g.num_nodes() || t >= g.num_nodes()) {
+    return Status::OutOfRange("query node exceeds num_nodes");
+  }
+  return Status::Ok();
+}
+
+// Per-node incidence onto the logical edge list: (edge index, other endpoint).
+// A directed edge appears only at its tail; an undirected edge at both ends.
+std::vector<std::vector<std::pair<int, NodeId>>> BuildIncidence(
+    const UncertainGraph& g, const std::vector<Edge>& edges) {
+  std::vector<std::vector<std::pair<int, NodeId>>> inc(g.num_nodes());
+  for (int i = 0; i < static_cast<int>(edges.size()); ++i) {
+    inc[edges[i].src].push_back({i, edges[i].dst});
+    if (!g.directed()) inc[edges[i].dst].push_back({i, edges[i].src});
+  }
+  return inc;
+}
+
+enum class EdgeState : uint8_t { kUndetermined, kPresent, kAbsent };
+
+class FactoringSolver {
+ public:
+  FactoringSolver(const UncertainGraph& g, const std::vector<Edge>& edges,
+                  NodeId s, NodeId t)
+      : edges_(edges),
+        inc_(BuildIncidence(g, edges)),
+        s_(s),
+        t_(t),
+        state_(edges.size(), EdgeState::kUndetermined) {}
+
+  double Solve() { return Recurse(); }
+
+ private:
+  // BFS over kPresent edges from s. Returns reached flags.
+  std::vector<char> ReachedViaPresent() const {
+    std::vector<char> reached(inc_.size(), 0);
+    std::queue<NodeId> queue;
+    reached[s_] = 1;
+    queue.push(s_);
+    while (!queue.empty()) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (const auto& [ei, v] : inc_[u]) {
+        if (state_[ei] == EdgeState::kPresent && !reached[v]) {
+          reached[v] = 1;
+          queue.push(v);
+        }
+      }
+    }
+    return reached;
+  }
+
+  double Recurse() {
+    const std::vector<char> reached = ReachedViaPresent();
+    if (reached[t_]) return 1.0;
+
+    // Pivot on an undetermined edge leaving the certainly-reached set: only
+    // such edges can extend reachability, so if none exists t is cut off.
+    int pivot = -1;
+    for (NodeId u = 0; u < inc_.size() && pivot < 0; ++u) {
+      if (!reached[u]) continue;
+      for (const auto& [ei, v] : inc_[u]) {
+        if (state_[ei] == EdgeState::kUndetermined && !reached[v]) {
+          pivot = ei;
+          break;
+        }
+      }
+    }
+    if (pivot < 0) return 0.0;
+
+    const double p = edges_[pivot].prob;
+    double result = 0.0;
+    if (p > 0.0) {
+      state_[pivot] = EdgeState::kPresent;
+      result += p * Recurse();
+    }
+    if (p < 1.0) {
+      state_[pivot] = EdgeState::kAbsent;
+      result += (1.0 - p) * Recurse();
+    }
+    state_[pivot] = EdgeState::kUndetermined;
+    return result;
+  }
+
+  const std::vector<Edge>& edges_;
+  const std::vector<std::vector<std::pair<int, NodeId>>> inc_;
+  const NodeId s_;
+  const NodeId t_;
+  std::vector<EdgeState> state_;
+};
+
+}  // namespace
+
+StatusOr<double> ExactReliabilityBruteForce(const UncertainGraph& g, NodeId s,
+                                            NodeId t, int max_edges) {
+  RELMAX_RETURN_IF_ERROR(ValidateQuery(g, s, t));
+  if (s == t) return 1.0;
+  const std::vector<Edge> edges = g.Edges();
+  const int m = static_cast<int>(edges.size());
+  if (m > max_edges || m > 30) {
+    return Status::InvalidArgument(
+        "brute-force enumeration limited to " + std::to_string(max_edges) +
+        " edges; graph has " + std::to_string(m));
+  }
+  const auto inc = BuildIncidence(g, edges);
+
+  double reliability = 0.0;
+  std::vector<char> reached(g.num_nodes());
+  for (uint64_t mask = 0; mask < (1ull << m); ++mask) {
+    double prob = 1.0;
+    for (int i = 0; i < m; ++i) {
+      prob *= (mask >> i) & 1 ? edges[i].prob : 1.0 - edges[i].prob;
+      if (prob == 0.0) break;
+    }
+    if (prob == 0.0) continue;
+
+    std::fill(reached.begin(), reached.end(), 0);
+    std::queue<NodeId> queue;
+    reached[s] = 1;
+    queue.push(s);
+    bool hit = false;
+    while (!queue.empty() && !hit) {
+      const NodeId u = queue.front();
+      queue.pop();
+      for (const auto& [ei, v] : inc[u]) {
+        if (((mask >> ei) & 1) && !reached[v]) {
+          reached[v] = 1;
+          if (v == t) {
+            hit = true;
+            break;
+          }
+          queue.push(v);
+        }
+      }
+    }
+    if (hit) reliability += prob;
+  }
+  return reliability;
+}
+
+StatusOr<double> ExactReliabilityFactoring(const UncertainGraph& g, NodeId s,
+                                           NodeId t, int max_edges) {
+  RELMAX_RETURN_IF_ERROR(ValidateQuery(g, s, t));
+  if (s == t) return 1.0;
+  const std::vector<Edge> edges = g.Edges();
+  if (static_cast<int>(edges.size()) > max_edges) {
+    return Status::InvalidArgument(
+        "factoring limited to " + std::to_string(max_edges) +
+        " edges; graph has " + std::to_string(edges.size()));
+  }
+  FactoringSolver solver(g, edges, s, t);
+  return solver.Solve();
+}
+
+}  // namespace relmax

@@ -1,0 +1,25 @@
+#ifndef RELMAX_GRAPH_EXACT_RELIABILITY_H_
+#define RELMAX_GRAPH_EXACT_RELIABILITY_H_
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Exact s-t reliability by enumerating all 2^m possible worlds (Equation 2).
+/// Exponential — refuses graphs with more than `max_edges` edges. Intended as
+/// a test oracle and for the paper's tiny closed-form examples.
+StatusOr<double> ExactReliabilityBruteForce(const UncertainGraph& g, NodeId s,
+                                            NodeId t, int max_edges = 24);
+
+/// Exact s-t reliability by the factoring (conditioning) method:
+///   R(G) = p(e) * R(G | e present) + (1 - p(e)) * R(G | e absent)
+/// pivoting on edges incident to the certainly-reachable set. Much faster
+/// than brute force in practice but still exponential in the worst case;
+/// `max_edges` guards accidental use on large graphs.
+StatusOr<double> ExactReliabilityFactoring(const UncertainGraph& g, NodeId s,
+                                           NodeId t, int max_edges = 64);
+
+}  // namespace relmax
+
+#endif  // RELMAX_GRAPH_EXACT_RELIABILITY_H_

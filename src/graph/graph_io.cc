@@ -1,0 +1,75 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace relmax {
+
+Status WriteEdgeList(const UncertainGraph& g, const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  std::fprintf(f, "# relmax-graph v1\n%s %u\n",
+               g.directed() ? "directed" : "undirected", g.num_nodes());
+  for (const Edge& e : g.Edges()) {
+    std::fprintf(f, "%u %u %.17g\n", e.src, e.dst, e.prob);
+  }
+  const bool write_failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (write_failed) return Status::IoError("short write: " + path);
+  return Status::Ok();
+}
+
+StatusOr<UncertainGraph> ReadEdgeList(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+
+  char line[256];
+  bool have_header = false;
+  bool directed = false;
+  unsigned num_nodes = 0;
+  UncertainGraph g = UncertainGraph::Directed(0);
+  int line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    if (line[0] == '#' || line[0] == '\n') continue;
+    if (!have_header) {
+      char kind[32];
+      if (std::sscanf(line, "%31s %u", kind, &num_nodes) != 2) {
+        std::fclose(f);
+        return Status::InvalidArgument("bad header at line " +
+                                       std::to_string(line_no));
+      }
+      if (std::strcmp(kind, "directed") == 0) {
+        directed = true;
+      } else if (std::strcmp(kind, "undirected") == 0) {
+        directed = false;
+      } else {
+        std::fclose(f);
+        return Status::InvalidArgument("unknown graph kind: " +
+                                       std::string(kind));
+      }
+      g = directed ? UncertainGraph::Directed(num_nodes)
+                   : UncertainGraph::Undirected(num_nodes);
+      have_header = true;
+      continue;
+    }
+    unsigned u = 0;
+    unsigned v = 0;
+    double p = 0.0;
+    if (std::sscanf(line, "%u %u %lf", &u, &v, &p) != 3) {
+      std::fclose(f);
+      return Status::InvalidArgument("bad edge at line " +
+                                     std::to_string(line_no));
+    }
+    Status st = g.AddEdge(u, v, p);
+    if (!st.ok()) {
+      std::fclose(f);
+      return st;
+    }
+  }
+  std::fclose(f);
+  if (!have_header) return Status::InvalidArgument("missing header: " + path);
+  return g;
+}
+
+}  // namespace relmax

@@ -1,0 +1,27 @@
+#ifndef RELMAX_GRAPH_GRAPH_IO_H_
+#define RELMAX_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Serializes `g` as a probabilistic edge list:
+///
+///   # relmax-graph v1
+///   directed|undirected <num_nodes>
+///   <u> <v> <p>
+///   ...
+///
+/// Lines starting with '#' are comments.
+Status WriteEdgeList(const UncertainGraph& g, const std::string& path);
+
+/// Parses a graph written by WriteEdgeList (or hand-authored in the same
+/// format). Fails with IoError / InvalidArgument on malformed input.
+StatusOr<UncertainGraph> ReadEdgeList(const std::string& path);
+
+}  // namespace relmax
+
+#endif  // RELMAX_GRAPH_GRAPH_IO_H_

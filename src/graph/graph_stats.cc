@@ -1,0 +1,149 @@
+#include "graph/graph_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "graph/bfs.h"
+
+namespace relmax {
+namespace {
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+// Sampled average local clustering coefficient on the undirected view.
+double SampledClustering(const UncertainGraph& g, int num_nodes, Rng* rng) {
+  const NodeId n = g.num_nodes();
+  if (n == 0) return 0.0;
+  std::vector<NodeId> nodes;
+  if (static_cast<int>(n) <= num_nodes) {
+    nodes.resize(n);
+    for (NodeId v = 0; v < n; ++v) nodes[v] = v;
+  } else {
+    nodes.reserve(num_nodes);
+    for (int i = 0; i < num_nodes; ++i) {
+      nodes.push_back(static_cast<NodeId>(rng->NextUint64(n)));
+    }
+  }
+
+  auto neighbors_of = [&](NodeId u) {
+    std::unordered_set<NodeId> nb;
+    for (const Arc& a : g.OutArcs(u)) nb.insert(a.to);
+    if (g.directed()) {
+      for (const Arc& a : g.InArcs(u)) nb.insert(a.to);
+    }
+    nb.erase(u);
+    return std::vector<NodeId>(nb.begin(), nb.end());
+  };
+  auto connected = [&](NodeId v, NodeId w) {
+    return g.HasEdge(v, w) || (g.directed() && g.HasEdge(w, v));
+  };
+
+  double sum = 0.0;
+  int counted = 0;
+  constexpr size_t kMaxExactDegree = 128;
+  constexpr int kPairSamples = 2048;
+  for (NodeId u : nodes) {
+    const std::vector<NodeId> nb = neighbors_of(u);
+    const size_t deg = nb.size();
+    ++counted;
+    if (deg < 2) continue;  // convention: c(u) = 0 for degree < 2
+    if (deg <= kMaxExactDegree) {
+      size_t linked = 0;
+      for (size_t i = 0; i < deg; ++i) {
+        for (size_t j = i + 1; j < deg; ++j) {
+          if (connected(nb[i], nb[j])) ++linked;
+        }
+      }
+      sum += static_cast<double>(linked) /
+             (static_cast<double>(deg) * static_cast<double>(deg - 1) / 2.0);
+    } else {
+      // Hub node: estimate the linked-pair fraction from random pairs.
+      int linked = 0;
+      for (int trial = 0; trial < kPairSamples; ++trial) {
+        const NodeId v = nb[rng->NextUint64(deg)];
+        NodeId w = nb[rng->NextUint64(deg)];
+        while (w == v) w = nb[rng->NextUint64(deg)];
+        if (connected(v, w)) ++linked;
+      }
+      sum += static_cast<double>(linked) / kPairSamples;
+    }
+  }
+  return counted == 0 ? 0.0 : sum / counted;
+}
+
+}  // namespace
+
+GraphStats ComputeGraphStats(const UncertainGraph& g,
+                             const GraphStatsOptions& options) {
+  GraphStats stats;
+  stats.num_nodes = g.num_nodes();
+  stats.num_edges = g.num_edges();
+
+  std::vector<double> probs;
+  probs.reserve(g.num_edges());
+  double sum = 0.0;
+  for (const Edge& e : g.Edges()) {
+    probs.push_back(e.prob);
+    sum += e.prob;
+  }
+  if (!probs.empty()) {
+    stats.prob_mean = sum / static_cast<double>(probs.size());
+    double var = 0.0;
+    for (double p : probs) {
+      var += (p - stats.prob_mean) * (p - stats.prob_mean);
+    }
+    stats.prob_sd =
+        probs.size() > 1
+            ? __builtin_sqrt(var / static_cast<double>(probs.size() - 1))
+            : 0.0;
+    std::sort(probs.begin(), probs.end());
+    stats.prob_q1 = Quantile(probs, 0.25);
+    stats.prob_q2 = Quantile(probs, 0.50);
+    stats.prob_q3 = Quantile(probs, 0.75);
+  }
+
+  Rng rng(options.seed);
+  const NodeId n = g.num_nodes();
+  if (n > 0) {
+    double spl_sum = 0.0;
+    int64_t spl_count = 0;
+    int longest = 0;
+    NodeId farthest = kInvalidNode;
+    const int sources = std::min<int>(options.num_bfs_sources, n);
+    for (int i = 0; i < sources; ++i) {
+      const NodeId src = static_cast<int>(n) <= options.num_bfs_sources
+                             ? static_cast<NodeId>(i)
+                             : static_cast<NodeId>(rng.NextUint64(n));
+      const std::vector<int> dist = HopDistances(g, src);
+      for (NodeId v = 0; v < n; ++v) {
+        if (v == src || dist[v] == kUnreachable) continue;
+        spl_sum += dist[v];
+        ++spl_count;
+        if (dist[v] > longest) {
+          longest = dist[v];
+          farthest = v;
+        }
+      }
+    }
+    // Double sweep: a BFS from the farthest node found usually tightens the
+    // diameter estimate considerably.
+    if (farthest != kInvalidNode) {
+      for (int d : HopDistances(g, farthest)) longest = std::max(longest, d);
+    }
+    stats.avg_spl = spl_count == 0 ? 0.0 : spl_sum / spl_count;
+    stats.longest_spl = longest;
+    stats.clustering_coefficient =
+        SampledClustering(g, options.num_clustering_nodes, &rng);
+  }
+  return stats;
+}
+
+}  // namespace relmax

@@ -1,0 +1,46 @@
+#ifndef RELMAX_GRAPH_GRAPH_STATS_H_
+#define RELMAX_GRAPH_GRAPH_STATS_H_
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Dataset summary statistics in the shape of the paper's Table 8.
+struct GraphStats {
+  NodeId num_nodes = 0;
+  size_t num_edges = 0;
+  /// Edge-probability moments and quartiles.
+  double prob_mean = 0.0;
+  double prob_sd = 0.0;
+  double prob_q1 = 0.0;
+  double prob_q2 = 0.0;
+  double prob_q3 = 0.0;
+  /// Average shortest-path length over sampled reachable pairs (hops,
+  /// probabilities ignored).
+  double avg_spl = 0.0;
+  /// Longest observed shortest-path length (approximate diameter via
+  /// multi-source sweeps).
+  int longest_spl = 0;
+  /// Average local clustering coefficient over sampled nodes (undirected
+  /// view).
+  double clustering_coefficient = 0.0;
+};
+
+/// Options controlling the sampling effort of ComputeGraphStats.
+struct GraphStatsOptions {
+  /// BFS sources used for path-length statistics.
+  int num_bfs_sources = 32;
+  /// Nodes sampled for the clustering coefficient.
+  int num_clustering_nodes = 2000;
+  uint64_t seed = 7;
+};
+
+/// Computes Table 8-style statistics. Path-length and clustering figures are
+/// estimated by sampling (exact on graphs smaller than the sample budgets).
+GraphStats ComputeGraphStats(const UncertainGraph& g,
+                             const GraphStatsOptions& options = {});
+
+}  // namespace relmax
+
+#endif  // RELMAX_GRAPH_GRAPH_STATS_H_

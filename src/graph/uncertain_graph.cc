@@ -1,0 +1,139 @@
+#include "graph/uncertain_graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace relmax {
+
+NodeId UncertainGraph::AddNode() {
+  out_.emplace_back();
+  if (directed_) in_.emplace_back();
+  return static_cast<NodeId>(out_.size() - 1);
+}
+
+Status UncertainGraph::AddEdge(NodeId u, NodeId v, double p) {
+  if (u >= num_nodes() || v >= num_nodes()) {
+    return Status::OutOfRange("edge endpoint exceeds num_nodes");
+  }
+  if (u == v) return Status::InvalidArgument("self-loops are not supported");
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("edge probability must be in [0, 1]");
+  }
+  const uint64_t key = EdgeKey(u, v);
+  if (edge_index_.count(key) > 0) {
+    return Status::AlreadyExists("edge (" + std::to_string(u) + ", " +
+                                 std::to_string(v) + ") already present");
+  }
+  const EdgeId id = static_cast<EdgeId>(edges_.size());
+  edge_index_.emplace(key, id);
+  // Canonical storage: undirected edges keep src < dst.
+  NodeId cu = u;
+  NodeId cv = v;
+  if (!directed_ && cu > cv) std::swap(cu, cv);
+  edges_.push_back({cu, cv, p});
+  out_[u].push_back({v, p, id});
+  if (directed_) {
+    in_[v].push_back({u, p, id});
+  } else {
+    out_[v].push_back({u, p, id});
+  }
+  return Status::Ok();
+}
+
+Status UncertainGraph::UpdateEdgeProb(NodeId u, NodeId v, double p) {
+  if (p < 0.0 || p > 1.0) {
+    return Status::InvalidArgument("edge probability must be in [0, 1]");
+  }
+  auto it = edge_index_.find(EdgeKey(u, v));
+  if (it == edge_index_.end()) {
+    return Status::NotFound("edge (" + std::to_string(u) + ", " +
+                            std::to_string(v) + ") does not exist");
+  }
+  const EdgeId id = it->second;
+  edges_[id].prob = p;
+  auto update_arc = [&](std::vector<Arc>& arcs) {
+    for (Arc& arc : arcs) {
+      if (arc.edge_id == id) {
+        arc.prob = p;
+        return;
+      }
+    }
+  };
+  update_arc(out_[u]);
+  if (directed_) {
+    update_arc(in_[v]);
+  } else {
+    update_arc(out_[v]);
+  }
+  return Status::Ok();
+}
+
+std::optional<double> UncertainGraph::EdgeProb(NodeId u, NodeId v) const {
+  auto it = edge_index_.find(EdgeKey(u, v));
+  if (it == edge_index_.end()) return std::nullopt;
+  return edges_[it->second].prob;
+}
+
+std::optional<EdgeId> UncertainGraph::EdgeIndexOf(NodeId u, NodeId v) const {
+  auto it = edge_index_.find(EdgeKey(u, v));
+  if (it == edge_index_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<Edge> UncertainGraph::Edges() const {
+  std::vector<Edge> edges = edges_;
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.src != b.src ? a.src < b.src : a.dst < b.dst;
+  });
+  return edges;
+}
+
+double UncertainGraph::WeightedDegree(NodeId u) const {
+  double sum = 0.0;
+  for (const Arc& a : out_[u]) sum += a.prob;
+  if (directed_) {
+    for (const Arc& a : in_[u]) sum += a.prob;
+  }
+  return sum;
+}
+
+UncertainGraph UncertainGraph::Transposed() const {
+  UncertainGraph t(num_nodes(), directed_);
+  for (const Edge& e : edges_) {
+    Status st = directed_ ? t.AddEdge(e.dst, e.src, e.prob)
+                          : t.AddEdge(e.src, e.dst, e.prob);
+    RELMAX_DCHECK(st.ok());
+    (void)st;
+  }
+  return t;
+}
+
+StatusOr<UncertainGraph> UncertainGraph::InducedSubgraph(
+    const std::vector<NodeId>& nodes) const {
+  std::unordered_map<NodeId, NodeId> remap;
+  remap.reserve(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i] >= num_nodes()) {
+      return Status::OutOfRange("subgraph node exceeds num_nodes");
+    }
+    if (!remap.emplace(nodes[i], static_cast<NodeId>(i)).second) {
+      return Status::InvalidArgument("duplicate node in subgraph spec");
+    }
+  }
+  UncertainGraph sub(static_cast<NodeId>(nodes.size()), directed_);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    for (const Arc& a : out_[nodes[i]]) {
+      auto it = remap.find(a.to);
+      if (it == remap.end()) continue;
+      const NodeId su = static_cast<NodeId>(i);
+      const NodeId sv = it->second;
+      if (!directed_ && sub.HasEdge(su, sv)) continue;  // second arc copy
+      Status st = sub.AddEdge(su, sv, a.prob);
+      RELMAX_DCHECK(st.ok());
+      (void)st;
+    }
+  }
+  return sub;
+}
+
+}  // namespace relmax

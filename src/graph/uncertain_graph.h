@@ -1,0 +1,135 @@
+#ifndef RELMAX_GRAPH_UNCERTAIN_GRAPH_H_
+#define RELMAX_GRAPH_UNCERTAIN_GRAPH_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace relmax {
+
+/// Node identifier. Nodes are dense integers in [0, num_nodes()).
+using NodeId = uint32_t;
+
+/// Dense logical-edge identifier in insertion order, shared by both stored
+/// arcs of an undirected edge. Samplers key per-world edge state off this.
+using EdgeId = uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// An adjacency entry: head node, existence probability, and the logical
+/// edge id it belongs to.
+struct Arc {
+  NodeId to;
+  double prob;
+  EdgeId edge_id;
+};
+
+/// An edge in external form. For undirected graphs the canonical form has
+/// src < dst.
+struct Edge {
+  NodeId src;
+  NodeId dst;
+  double prob;
+
+  bool operator==(const Edge& o) const {
+    return src == o.src && dst == o.dst && prob == o.prob;
+  }
+};
+
+/// An uncertain (probabilistic) graph G = (V, E, p): every edge e carries an
+/// independent existence probability p(e) ∈ [0, 1] under possible-world
+/// semantics (paper §2.1).
+///
+/// The representation is adjacency-list based with O(1) expected edge lookup,
+/// and supports dynamic edge insertion — the solvers repeatedly evaluate
+/// augmented graphs G ∪ E1. Undirected graphs store each edge as two arcs but
+/// count it once in num_edges() and Edges().
+class UncertainGraph {
+ public:
+  /// Creates a directed graph with n isolated nodes.
+  static UncertainGraph Directed(NodeId n) { return UncertainGraph(n, true); }
+  /// Creates an undirected graph with n isolated nodes.
+  static UncertainGraph Undirected(NodeId n) {
+    return UncertainGraph(n, false);
+  }
+
+  bool directed() const { return directed_; }
+  NodeId num_nodes() const { return static_cast<NodeId>(out_.size()); }
+  /// Logical edge count (an undirected edge counts once).
+  size_t num_edges() const { return edges_.size(); }
+
+  /// Appends an isolated node and returns its id.
+  NodeId AddNode();
+
+  /// Adds edge (u, v) with probability p. Fails on self-loops, out-of-range
+  /// endpoints, p outside [0, 1], or duplicate edges.
+  Status AddEdge(NodeId u, NodeId v, double p);
+
+  /// Replaces the probability of existing edge (u, v).
+  Status UpdateEdgeProb(NodeId u, NodeId v, double p);
+
+  /// True if edge (u, v) exists. For undirected graphs the orientation is
+  /// ignored.
+  bool HasEdge(NodeId u, NodeId v) const {
+    return edge_index_.count(EdgeKey(u, v)) > 0;
+  }
+
+  /// Probability of edge (u, v), or nullopt if absent.
+  std::optional<double> EdgeProb(NodeId u, NodeId v) const;
+
+  /// Logical edge id of (u, v), or nullopt if absent.
+  std::optional<EdgeId> EdgeIndexOf(NodeId u, NodeId v) const;
+
+  /// Edge by logical id (canonical orientation).
+  const Edge& EdgeById(EdgeId id) const { return edges_[id]; }
+
+  /// All logical edges in insertion (id) order.
+  const std::vector<Edge>& EdgesById() const { return edges_; }
+
+  /// Outgoing arcs of u (for undirected graphs: all incident arcs).
+  const std::vector<Arc>& OutArcs(NodeId u) const { return out_[u]; }
+
+  /// Incoming arcs of u. For undirected graphs this equals OutArcs(u).
+  const std::vector<Arc>& InArcs(NodeId u) const {
+    return directed_ ? in_[u] : out_[u];
+  }
+
+  /// Canonical logical edge list sorted by (src, dst).
+  std::vector<Edge> Edges() const;
+
+  /// Sum of probabilities over arcs incident to u in both directions — the
+  /// paper's "degree centrality" score (§3.3).
+  double WeightedDegree(NodeId u) const;
+
+  /// Graph with every arc reversed. Undirected graphs return a copy.
+  UncertainGraph Transposed() const;
+
+  /// Subgraph induced by `nodes` (ids are compacted in the given order).
+  /// Duplicate ids are rejected.
+  StatusOr<UncertainGraph> InducedSubgraph(
+      const std::vector<NodeId>& nodes) const;
+
+ private:
+  UncertainGraph(NodeId n, bool directed)
+      : directed_(directed), out_(n), in_(directed ? n : 0) {}
+
+  // Canonical 64-bit key: directed keeps (u, v); undirected sorts endpoints.
+  uint64_t EdgeKey(NodeId u, NodeId v) const {
+    if (!directed_ && u > v) std::swap(u, v);
+    return (static_cast<uint64_t>(u) << 32) | v;
+  }
+
+  bool directed_;
+  std::vector<std::vector<Arc>> out_;
+  std::vector<std::vector<Arc>> in_;  // only populated when directed_
+  std::vector<Edge> edges_;           // canonical form, indexed by EdgeId
+  std::unordered_map<uint64_t, EdgeId> edge_index_;
+};
+
+}  // namespace relmax
+
+#endif  // RELMAX_GRAPH_UNCERTAIN_GRAPH_H_

@@ -1,0 +1,47 @@
+#ifndef RELMAX_GRAPH_VISIT_MARKER_H_
+#define RELMAX_GRAPH_VISIT_MARKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Epoch-stamped visited set for repeated graph traversals.
+///
+/// Monte Carlo estimation runs thousands of BFS passes over the same node
+/// set; clearing a boolean array each pass would dominate. NewEpoch() is O(1)
+/// (a counter bump) and Visit() marks-and-tests in O(1).
+class VisitMarker {
+ public:
+  explicit VisitMarker(size_t n) : stamp_(n, 0), epoch_(0) {}
+
+  /// Starts a fresh traversal: all nodes become unvisited.
+  void NewEpoch() {
+    if (++epoch_ == 0) {  // wrapped: reset lazily once every 2^32 epochs
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  /// Marks v visited. Returns true iff v was not yet visited this epoch.
+  bool Visit(NodeId v) {
+    if (stamp_[v] == epoch_) return false;
+    stamp_[v] = epoch_;
+    return true;
+  }
+
+  /// True if v was visited this epoch.
+  bool Visited(NodeId v) const { return stamp_[v] == epoch_; }
+
+  size_t size() const { return stamp_.size(); }
+
+ private:
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_;
+};
+
+}  // namespace relmax
+
+#endif  // RELMAX_GRAPH_VISIT_MARKER_H_

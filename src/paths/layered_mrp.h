@@ -1,0 +1,48 @@
+#ifndef RELMAX_PATHS_LAYERED_MRP_H_
+#define RELMAX_PATHS_LAYERED_MRP_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+#include "paths/most_reliable_path.h"
+
+namespace relmax {
+
+/// Result of the most-reliable-path improvement (Problem 2).
+struct MrpImprovement {
+  /// Candidate ("red") edges on the winning path — at most k, possibly empty
+  /// when no addition helps.
+  std::vector<Edge> added_edges;
+  /// The most reliable s-t path in the augmented graph G ∪ added_edges.
+  PathResult best_path;
+  /// Probability of MRP(s, t, G) without any new edge (0 when t is
+  /// unreachable).
+  double base_probability = 0.0;
+  /// True iff best_path.probability > base_probability.
+  bool improved = false;
+};
+
+/// Solves Problem 2 (single-source-target most reliable path improvement)
+/// exactly in polynomial time — the constructive proof of Theorem 3
+/// (Algorithm 3).
+///
+/// Existing edges are "blue"; `candidates` are the "red" edges that may be
+/// added, each carrying its own probability (the paper's fixed ζ is the
+/// special case where all candidate probabilities are equal). Instead of
+/// materializing k+1 graph copies, the search runs one max-product Dijkstra
+/// over the implicit layered graph whose state (v, j) means "at node v having
+/// used j red edges": blue arcs stay within a layer, red arcs step j → j+1.
+/// The best path to any (t, j), j ≤ k, is exactly the most reliable s-t path
+/// using at most k red edges.
+///
+/// For undirected input graphs candidate edges are usable in both directions.
+/// Fails on invalid candidates (self-loops, out-of-range endpoints, bad
+/// probabilities) or out-of-range query nodes; k must be non-negative.
+StatusOr<MrpImprovement> ImproveMostReliablePathWithCandidates(
+    const UncertainGraph& g, NodeId s, NodeId t, int k,
+    const std::vector<Edge>& candidates);
+
+}  // namespace relmax
+
+#endif  // RELMAX_PATHS_LAYERED_MRP_H_

@@ -1,0 +1,81 @@
+#include "paths/most_reliable_path.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace relmax {
+namespace {
+
+struct HeapEntry {
+  double prob;
+  NodeId node;
+  bool operator<(const HeapEntry& o) const { return prob < o.prob; }
+};
+
+}  // namespace
+
+std::optional<PathResult> MostReliablePath(const UncertainGraph& g, NodeId s,
+                                           NodeId t) {
+  RELMAX_CHECK(s < g.num_nodes() && t < g.num_nodes());
+  if (s == t) return PathResult{{s}, 1.0};
+
+  // Dijkstra maximizing the path probability. Edge factors are <= 1, so the
+  // usual label-setting argument applies with max-product ordering.
+  std::vector<double> best(g.num_nodes(), 0.0);
+  std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
+  std::priority_queue<HeapEntry> heap;
+  best[s] = 1.0;
+  heap.push({1.0, s});
+  while (!heap.empty()) {
+    const auto [prob, u] = heap.top();
+    heap.pop();
+    if (prob < best[u]) continue;  // stale entry
+    if (u == t) break;
+    for (const Arc& arc : g.OutArcs(u)) {
+      if (arc.prob <= 0.0) continue;
+      const double candidate = prob * arc.prob;
+      if (candidate > best[arc.to]) {
+        best[arc.to] = candidate;
+        parent[arc.to] = u;
+        heap.push({candidate, arc.to});
+      }
+    }
+  }
+  if (best[t] <= 0.0) return std::nullopt;
+
+  PathResult result;
+  result.probability = best[t];
+  for (NodeId v = t; v != kInvalidNode; v = parent[v]) {
+    result.nodes.push_back(v);
+    if (v == s) break;
+  }
+  std::reverse(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
+std::vector<double> MostReliablePathProbabilities(const UncertainGraph& g,
+                                                  NodeId s) {
+  RELMAX_CHECK(s < g.num_nodes());
+  std::vector<double> best(g.num_nodes(), 0.0);
+  std::priority_queue<HeapEntry> heap;
+  best[s] = 1.0;
+  heap.push({1.0, s});
+  while (!heap.empty()) {
+    const auto [prob, u] = heap.top();
+    heap.pop();
+    if (prob < best[u]) continue;
+    for (const Arc& arc : g.OutArcs(u)) {
+      if (arc.prob <= 0.0) continue;
+      const double candidate = prob * arc.prob;
+      if (candidate > best[arc.to]) {
+        best[arc.to] = candidate;
+        heap.push({candidate, arc.to});
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace relmax

@@ -1,0 +1,36 @@
+#ifndef RELMAX_PATHS_MOST_RELIABLE_PATH_H_
+#define RELMAX_PATHS_MOST_RELIABLE_PATH_H_
+
+#include <optional>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// A simple s-t path with its existence probability (the product of its edge
+/// probabilities, Equation 5 of the paper).
+struct PathResult {
+  std::vector<NodeId> nodes;  ///< s = nodes.front(), t = nodes.back().
+  double probability = 0.0;
+
+  /// Number of edges on the path.
+  size_t length() const { return nodes.empty() ? 0 : nodes.size() - 1; }
+};
+
+/// The most reliable path MRP(s, t, G): the s-t path maximizing the product
+/// of edge probabilities. Dijkstra on w(e) = −log p(e) (implemented in
+/// product space directly). Returns nullopt when t is unreachable through
+/// positive-probability edges. s == t yields the trivial path with
+/// probability 1.
+std::optional<PathResult> MostReliablePath(const UncertainGraph& g, NodeId s,
+                                           NodeId t);
+
+/// Most reliable path probability from s to every node (Dijkstra tree);
+/// 0 for unreachable nodes.
+std::vector<double> MostReliablePathProbabilities(const UncertainGraph& g,
+                                                  NodeId s);
+
+}  // namespace relmax
+
+#endif  // RELMAX_PATHS_MOST_RELIABLE_PATH_H_

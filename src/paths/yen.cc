@@ -1,0 +1,158 @@
+#include "paths/yen.h"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace relmax {
+namespace {
+
+uint64_t ArcKey(NodeId u, NodeId v) {
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+// Dijkstra (max-product) from src to dst honoring banned nodes and banned
+// directed arcs. For undirected graphs a banned arc masks both directions.
+std::optional<PathResult> MaskedDijkstra(
+    const UncertainGraph& g, NodeId src, NodeId dst,
+    const std::vector<char>& banned_node,
+    const std::unordered_set<uint64_t>& banned_arc) {
+  struct HeapEntry {
+    double prob;
+    NodeId node;
+    bool operator<(const HeapEntry& o) const { return prob < o.prob; }
+  };
+  std::vector<double> best(g.num_nodes(), 0.0);
+  std::vector<NodeId> parent(g.num_nodes(), kInvalidNode);
+  std::priority_queue<HeapEntry> heap;
+  best[src] = 1.0;
+  heap.push({1.0, src});
+  while (!heap.empty()) {
+    const auto [prob, u] = heap.top();
+    heap.pop();
+    if (prob < best[u]) continue;
+    if (u == dst) break;
+    for (const Arc& arc : g.OutArcs(u)) {
+      if (arc.prob <= 0.0 || banned_node[arc.to]) continue;
+      if (banned_arc.count(ArcKey(u, arc.to)) > 0) continue;
+      if (!g.directed() && banned_arc.count(ArcKey(arc.to, u)) > 0) continue;
+      const double candidate = prob * arc.prob;
+      if (candidate > best[arc.to]) {
+        best[arc.to] = candidate;
+        parent[arc.to] = u;
+        heap.push({candidate, arc.to});
+      }
+    }
+  }
+  if (best[dst] <= 0.0) return std::nullopt;
+  PathResult result;
+  result.probability = best[dst];
+  for (NodeId v = dst; v != kInvalidNode; v = parent[v]) {
+    result.nodes.push_back(v);
+    if (v == src) break;
+  }
+  std::reverse(result.nodes.begin(), result.nodes.end());
+  return result;
+}
+
+uint64_t PathHash(const std::vector<NodeId>& nodes) {
+  uint64_t h = 1469598103934665603ull;
+  for (NodeId v : nodes) {
+    h ^= v + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+struct Candidate {
+  PathResult path;
+  bool operator<(const Candidate& o) const {
+    // Max-heap by probability; deterministic tie-break on the node sequence.
+    if (path.probability != o.path.probability) {
+      return path.probability < o.path.probability;
+    }
+    return path.nodes > o.path.nodes;
+  }
+};
+
+}  // namespace
+
+std::vector<PathResult> TopLReliablePaths(const UncertainGraph& g, NodeId s,
+                                          NodeId t, int l) {
+  RELMAX_CHECK(s < g.num_nodes() && t < g.num_nodes());
+  RELMAX_CHECK(l > 0);
+  std::vector<PathResult> accepted;
+  if (s == t) {
+    accepted.push_back({{s}, 1.0});
+    return accepted;
+  }
+
+  std::optional<PathResult> first = MostReliablePath(g, s, t);
+  if (!first.has_value()) return accepted;
+  accepted.push_back(std::move(*first));
+
+  std::priority_queue<Candidate> candidates;
+  std::unordered_set<uint64_t> seen;
+  seen.insert(PathHash(accepted[0].nodes));
+
+  std::vector<char> banned_node(g.num_nodes(), 0);
+  while (static_cast<int>(accepted.size()) < l) {
+    const PathResult& prev = accepted.back();
+
+    // Deviate at every spur position of the last accepted path.
+    for (size_t spur_idx = 0; spur_idx + 1 < prev.nodes.size(); ++spur_idx) {
+      const NodeId spur = prev.nodes[spur_idx];
+
+      // Root = prev[0..spur_idx]; its probability prefix.
+      double root_prob = 1.0;
+      bool root_ok = true;
+      for (size_t i = 0; i < spur_idx; ++i) {
+        const auto p = g.EdgeProb(prev.nodes[i], prev.nodes[i + 1]);
+        if (!p.has_value() || *p <= 0.0) {
+          root_ok = false;
+          break;
+        }
+        root_prob *= *p;
+      }
+      if (!root_ok) continue;
+
+      // Ban the next arc of every accepted path sharing this root, so the
+      // spur path deviates.
+      std::unordered_set<uint64_t> banned_arc;
+      for (const PathResult& path : accepted) {
+        if (path.nodes.size() <= spur_idx + 1) continue;
+        if (!std::equal(path.nodes.begin(), path.nodes.begin() + spur_idx + 1,
+                        prev.nodes.begin())) {
+          continue;
+        }
+        banned_arc.insert(
+            ArcKey(path.nodes[spur_idx], path.nodes[spur_idx + 1]));
+      }
+      // Ban root nodes (except the spur) to keep spur paths simple.
+      for (size_t i = 0; i < spur_idx; ++i) banned_node[prev.nodes[i]] = 1;
+
+      std::optional<PathResult> spur_path =
+          MaskedDijkstra(g, spur, t, banned_node, banned_arc);
+
+      for (size_t i = 0; i < spur_idx; ++i) banned_node[prev.nodes[i]] = 0;
+      if (!spur_path.has_value()) continue;
+
+      PathResult total;
+      total.nodes.assign(prev.nodes.begin(), prev.nodes.begin() + spur_idx);
+      total.nodes.insert(total.nodes.end(), spur_path->nodes.begin(),
+                         spur_path->nodes.end());
+      total.probability = root_prob * spur_path->probability;
+      if (seen.insert(PathHash(total.nodes)).second) {
+        candidates.push({std::move(total)});
+      }
+    }
+
+    if (candidates.empty()) break;
+    accepted.push_back(candidates.top().path);
+    candidates.pop();
+  }
+  return accepted;
+}
+
+}  // namespace relmax

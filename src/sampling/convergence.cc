@@ -1,0 +1,56 @@
+#include "sampling/convergence.h"
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace relmax {
+
+DispersionResult MeasureDispersion(
+    const UncertainGraph& g,
+    const std::vector<std::pair<NodeId, NodeId>>& queries, int num_samples,
+    int repeats, const ReliabilityEstimatorFn& estimator, uint64_t seed) {
+  RELMAX_CHECK(!queries.empty());
+  RELMAX_CHECK(repeats > 1);
+  Rng rng(seed);
+
+  double mean_sum = 0.0;
+  double var_sum = 0.0;
+  for (const auto& [s, t] : queries) {
+    double sum = 0.0;
+    double sq = 0.0;
+    for (int rep = 0; rep < repeats; ++rep) {
+      const double estimate = estimator(g, s, t, num_samples, rng.Next());
+      sum += estimate;
+      sq += estimate * estimate;
+    }
+    const double mean = sum / repeats;
+    const double var =
+        std::max(0.0, (sq - repeats * mean * mean) / (repeats - 1));
+    mean_sum += mean;
+    var_sum += var;
+  }
+
+  DispersionResult result;
+  result.num_samples = num_samples;
+  result.mean = mean_sum / static_cast<double>(queries.size());
+  result.variance = var_sum / static_cast<double>(queries.size());
+  result.index_of_dispersion =
+      result.mean > 0.0 ? result.variance / result.mean : 0.0;
+  return result;
+}
+
+DispersionResult FindConvergedSampleSize(
+    const UncertainGraph& g,
+    const std::vector<std::pair<NodeId, NodeId>>& queries,
+    const std::vector<int>& candidate_sizes, int repeats, double threshold,
+    const ReliabilityEstimatorFn& estimator, uint64_t seed) {
+  RELMAX_CHECK(!candidate_sizes.empty());
+  DispersionResult last;
+  for (int z : candidate_sizes) {
+    last = MeasureDispersion(g, queries, z, repeats, estimator, seed);
+    if (last.index_of_dispersion < threshold) return last;
+  }
+  return last;
+}
+
+}  // namespace relmax

@@ -1,0 +1,46 @@
+#ifndef RELMAX_SAMPLING_CONVERGENCE_H_
+#define RELMAX_SAMPLING_CONVERGENCE_H_
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// An s-t reliability estimator under test: (graph, s, t, Z, seed) -> R̂.
+using ReliabilityEstimatorFn = std::function<double(
+    const UncertainGraph&, NodeId, NodeId, int, uint64_t)>;
+
+/// Outcome of an index-of-dispersion measurement at one sample size Z
+/// (paper §5.3: ρ_Z = V_Z / R_Z, converged when ρ_Z < 0.001).
+struct DispersionResult {
+  int num_samples = 0;
+  /// R_Z: reliability averaged over queries and repeats.
+  double mean = 0.0;
+  /// V_Z: estimator variance averaged over queries.
+  double variance = 0.0;
+  /// ρ_Z = V_Z / R_Z (0 when the mean is 0).
+  double index_of_dispersion = 0.0;
+};
+
+/// Repeats each query `repeats` times with independent seeds at sample size
+/// `num_samples` and reports the dispersion statistics.
+DispersionResult MeasureDispersion(
+    const UncertainGraph& g,
+    const std::vector<std::pair<NodeId, NodeId>>& queries, int num_samples,
+    int repeats, const ReliabilityEstimatorFn& estimator, uint64_t seed = 42);
+
+/// Walks `candidate_sizes` (ascending) and returns the first whose ρ_Z drops
+/// below `threshold`, along with its measurement. Falls back to the largest
+/// candidate when none converges.
+DispersionResult FindConvergedSampleSize(
+    const UncertainGraph& g,
+    const std::vector<std::pair<NodeId, NodeId>>& queries,
+    const std::vector<int>& candidate_sizes, int repeats, double threshold,
+    const ReliabilityEstimatorFn& estimator, uint64_t seed = 42);
+
+}  // namespace relmax
+
+#endif  // RELMAX_SAMPLING_CONVERGENCE_H_

@@ -1,0 +1,117 @@
+#include "sampling/lazy_propagation.h"
+
+#include <cmath>
+
+namespace relmax {
+
+LazyPropagationSampler::LazyPropagationSampler(const UncertainGraph& g,
+                                               uint64_t seed)
+    : graph_(g), rng_(seed), visited_(g.num_nodes()) {}
+
+int64_t LazyPropagationSampler::NextGap(double p) {
+  // Failures before the next success of a Bernoulli(p): floor(ln U / ln(1-p)).
+  double u = rng_.NextDouble();
+  while (u <= 0.0) u = rng_.NextDouble();
+  return static_cast<int64_t>(std::floor(std::log(u) / std::log1p(-p)));
+}
+
+std::vector<std::vector<EdgeId>> LazyPropagationSampler::BucketizeWorlds(
+    int num_samples) {
+  std::vector<std::vector<EdgeId>> buckets(num_samples);
+  for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
+    const double p = graph_.EdgeById(e).prob;
+    if (p <= 0.0) continue;
+    if (p >= 1.0) {
+      for (int w = 0; w < num_samples; ++w) buckets[w].push_back(e);
+      continue;
+    }
+    // Enumerate exactly the worlds in which this edge exists.
+    int64_t world = NextGap(p);
+    while (world < num_samples) {
+      buckets[world].push_back(e);
+      world += 1 + NextGap(p);
+    }
+  }
+  return buckets;
+}
+
+double LazyPropagationSampler::Reliability(NodeId s, NodeId t,
+                                           int num_samples) {
+  RELMAX_CHECK(s < graph_.num_nodes() && t < graph_.num_nodes());
+  RELMAX_CHECK(num_samples > 0);
+  if (s == t) return 1.0;
+
+  const auto buckets = BucketizeWorlds(num_samples);
+  std::vector<uint32_t> present_epoch(graph_.num_edges(), 0);
+  std::vector<NodeId> queue;
+  queue.reserve(graph_.num_nodes());
+  int hits = 0;
+  for (int w = 0; w < num_samples; ++w) {
+    const uint32_t epoch = static_cast<uint32_t>(w) + 1;
+    for (EdgeId e : buckets[w]) present_epoch[e] = epoch;
+    visited_.NewEpoch();
+    queue.clear();
+    visited_.Visit(s);
+    queue.push_back(s);
+    bool reached = false;
+    for (size_t head = 0; head < queue.size() && !reached; ++head) {
+      for (const Arc& arc : graph_.OutArcs(queue[head])) {
+        if (present_epoch[arc.edge_id] != epoch ||
+            visited_.Visited(arc.to)) {
+          continue;
+        }
+        visited_.Visit(arc.to);
+        if (arc.to == t) {
+          reached = true;
+          break;
+        }
+        queue.push_back(arc.to);
+      }
+    }
+    hits += reached ? 1 : 0;
+  }
+  return static_cast<double>(hits) / num_samples;
+}
+
+std::vector<double> LazyPropagationSampler::FromSource(NodeId s,
+                                                       int num_samples) {
+  RELMAX_CHECK(s < graph_.num_nodes());
+  RELMAX_CHECK(num_samples > 0);
+  const auto buckets = BucketizeWorlds(num_samples);
+  std::vector<uint32_t> present_epoch(graph_.num_edges(), 0);
+  std::vector<int> counts(graph_.num_nodes(), 0);
+  std::vector<NodeId> queue;
+  queue.reserve(graph_.num_nodes());
+  for (int w = 0; w < num_samples; ++w) {
+    const uint32_t epoch = static_cast<uint32_t>(w) + 1;
+    for (EdgeId e : buckets[w]) present_epoch[e] = epoch;
+    visited_.NewEpoch();
+    queue.clear();
+    visited_.Visit(s);
+    queue.push_back(s);
+    for (size_t head = 0; head < queue.size(); ++head) {
+      for (const Arc& arc : graph_.OutArcs(queue[head])) {
+        if (present_epoch[arc.edge_id] != epoch ||
+            visited_.Visited(arc.to)) {
+          continue;
+        }
+        visited_.Visit(arc.to);
+        queue.push_back(arc.to);
+      }
+    }
+    for (NodeId v : queue) ++counts[v];
+  }
+  std::vector<double> reliability(graph_.num_nodes());
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    reliability[v] = static_cast<double>(counts[v]) / num_samples;
+  }
+  return reliability;
+}
+
+double EstimateReliabilityLazy(const UncertainGraph& g, NodeId s, NodeId t,
+                               int num_samples, uint64_t seed) {
+  LazyPropagationSampler sampler(g, seed);
+  return sampler.Reliability(s, t, num_samples);
+}
+
+}  // namespace relmax

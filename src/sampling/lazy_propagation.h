@@ -1,0 +1,49 @@
+#ifndef RELMAX_SAMPLING_LAZY_PROPAGATION_H_
+#define RELMAX_SAMPLING_LAZY_PROPAGATION_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+#include "graph/visit_marker.h"
+
+namespace relmax {
+
+/// Lazy-propagation Monte Carlo estimator (paper §7, after Li et al. [28]):
+/// instead of flipping a coin per edge per sampled world, each edge's
+/// *presence worlds* are enumerated directly with geometric skips —
+/// next_world = current + Geometric(p) — so an edge with probability p costs
+/// O(Z·p) work across Z worlds instead of O(Z). On low-probability graphs
+/// (the paper's DBLP/Twitter models average p ≈ 0.1) this materializes
+/// worlds several times faster than per-edge flipping, with an identical
+/// sampling distribution.
+class LazyPropagationSampler {
+ public:
+  LazyPropagationSampler(const UncertainGraph& g, uint64_t seed);
+
+  /// Estimates R(s, t, G) over `num_samples` worlds.
+  double Reliability(NodeId s, NodeId t, int num_samples);
+
+  /// Reliability of every node from s over `num_samples` worlds.
+  std::vector<double> FromSource(NodeId s, int num_samples);
+
+ private:
+  // Assigns every logical edge to the buckets of the worlds it exists in
+  // (world-major processing order).
+  std::vector<std::vector<EdgeId>> BucketizeWorlds(int num_samples);
+
+  // Geometric skip: number of additional worlds until the next presence.
+  int64_t NextGap(double p);
+
+  const UncertainGraph& graph_;
+  Rng rng_;
+  VisitMarker visited_;
+};
+
+/// One-shot wrapper mirroring EstimateReliability.
+double EstimateReliabilityLazy(const UncertainGraph& g, NodeId s, NodeId t,
+                               int num_samples, uint64_t seed);
+
+}  // namespace relmax
+
+#endif  // RELMAX_SAMPLING_LAZY_PROPAGATION_H_

@@ -1,0 +1,135 @@
+#include "sampling/reliability.h"
+
+#include <algorithm>
+
+namespace relmax {
+
+MonteCarloSampler::MonteCarloSampler(const UncertainGraph& g, uint64_t seed)
+    : graph_(g),
+      rng_(seed),
+      visited_(g.num_nodes()),
+      edge_epoch_(g.directed() ? 0 : g.num_edges(), 0),
+      edge_present_(g.directed() ? 0 : g.num_edges(), 0) {
+  queue_.reserve(g.num_nodes());
+}
+
+bool MonteCarloSampler::ArcExists(const Arc& arc) {
+  if (graph_.directed()) {
+    // A directed arc is met at most once per world BFS (its tail is dequeued
+    // once), so an independent flip is already world-coherent.
+    return rng_.NextBernoulli(arc.prob);
+  }
+  // Undirected: both stored arcs share the logical edge id; flip once per
+  // world and cache the outcome.
+  if (edge_epoch_[arc.edge_id] != world_epoch_) {
+    edge_epoch_[arc.edge_id] = world_epoch_;
+    edge_present_[arc.edge_id] = rng_.NextBernoulli(arc.prob) ? 1 : 0;
+  }
+  return edge_present_[arc.edge_id] != 0;
+}
+
+template <bool kReverse>
+bool MonteCarloSampler::SampleWorldBfs(const std::vector<NodeId>& seeds,
+                                       NodeId stop_at) {
+  visited_.NewEpoch();
+  ++world_epoch_;
+  queue_.clear();
+  for (NodeId s : seeds) {
+    if (visited_.Visit(s)) {
+      if (s == stop_at) return true;
+      queue_.push_back(s);
+    }
+  }
+  for (size_t head = 0; head < queue_.size(); ++head) {
+    const NodeId u = queue_[head];
+    const std::vector<Arc>& arcs =
+        kReverse ? graph_.InArcs(u) : graph_.OutArcs(u);
+    for (const Arc& arc : arcs) {
+      if (visited_.Visited(arc.to)) continue;
+      if (!ArcExists(arc)) continue;
+      visited_.Visit(arc.to);
+      if (arc.to == stop_at) return true;
+      queue_.push_back(arc.to);
+    }
+  }
+  return stop_at != kInvalidNode && visited_.Visited(stop_at);
+}
+
+double MonteCarloSampler::Reliability(NodeId s, NodeId t, int num_samples) {
+  RELMAX_CHECK(s < graph_.num_nodes() && t < graph_.num_nodes());
+  RELMAX_CHECK(num_samples > 0);
+  if (s == t) return 1.0;
+  const std::vector<NodeId> seeds = {s};
+  int hits = 0;
+  for (int i = 0; i < num_samples; ++i) {
+    hits += SampleWorldBfs<false>(seeds, t) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / num_samples;
+}
+
+std::vector<double> MonteCarloSampler::FromSource(NodeId s, int num_samples) {
+  return FromSourceSet({s}, num_samples);
+}
+
+std::vector<double> MonteCarloSampler::FromSourceSet(
+    const std::vector<NodeId>& sources, int num_samples) {
+  RELMAX_CHECK(num_samples > 0);
+  std::vector<int> counts(graph_.num_nodes(), 0);
+  for (int i = 0; i < num_samples; ++i) {
+    SampleWorldBfs<false>(sources, kInvalidNode);
+    for (NodeId v : queue_) ++counts[v];
+  }
+  std::vector<double> reliability(graph_.num_nodes());
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    reliability[v] = static_cast<double>(counts[v]) / num_samples;
+  }
+  return reliability;
+}
+
+std::vector<double> MonteCarloSampler::ToTarget(NodeId t, int num_samples) {
+  RELMAX_CHECK(num_samples > 0);
+  const std::vector<NodeId> seeds = {t};
+  std::vector<int> counts(graph_.num_nodes(), 0);
+  for (int i = 0; i < num_samples; ++i) {
+    SampleWorldBfs<true>(seeds, kInvalidNode);
+    for (NodeId v : queue_) ++counts[v];
+  }
+  std::vector<double> reliability(graph_.num_nodes());
+  for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+    reliability[v] = static_cast<double>(counts[v]) / num_samples;
+  }
+  return reliability;
+}
+
+double MonteCarloSampler::SetReliability(const std::vector<NodeId>& sources,
+                                         NodeId t, int num_samples) {
+  RELMAX_CHECK(num_samples > 0);
+  for (NodeId s : sources) {
+    if (s == t) return 1.0;
+  }
+  int hits = 0;
+  for (int i = 0; i < num_samples; ++i) {
+    hits += SampleWorldBfs<false>(sources, t) ? 1 : 0;
+  }
+  return static_cast<double>(hits) / num_samples;
+}
+
+double EstimateReliability(const UncertainGraph& g, NodeId s, NodeId t,
+                           const SampleOptions& options) {
+  MonteCarloSampler sampler(g, options.seed);
+  return sampler.Reliability(s, t, options.num_samples);
+}
+
+std::vector<double> ReliabilityFromSource(const UncertainGraph& g, NodeId s,
+                                          const SampleOptions& options) {
+  MonteCarloSampler sampler(g, options.seed);
+  return sampler.FromSource(s, options.num_samples);
+}
+
+std::vector<double> ReliabilityToTarget(const UncertainGraph& g, NodeId t,
+                                        const SampleOptions& options) {
+  MonteCarloSampler sampler(g, options.seed);
+  return sampler.ToTarget(t, options.num_samples);
+}
+
+}  // namespace relmax

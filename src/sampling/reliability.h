@@ -1,0 +1,87 @@
+#ifndef RELMAX_SAMPLING_RELIABILITY_H_
+#define RELMAX_SAMPLING_RELIABILITY_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+#include "graph/visit_marker.h"
+
+namespace relmax {
+
+/// Effort/seed knobs for Monte Carlo estimation (§3.1 of the paper).
+struct SampleOptions {
+  /// Number of sampled possible worlds Z.
+  int num_samples = 1000;
+  /// RNG seed; estimates are deterministic for a fixed seed.
+  uint64_t seed = 42;
+};
+
+/// Reusable Monte Carlo reliability estimator over one uncertain graph.
+///
+/// Each sampled world is materialized lazily during BFS: an edge's coin is
+/// flipped the first time the traversal meets it, and the outcome is cached
+/// per world so that the two stored arcs of an undirected edge agree. Holding
+/// the sampler across calls amortizes the scratch allocations; the
+/// free-function wrappers below construct one per call.
+class MonteCarloSampler {
+ public:
+  MonteCarloSampler(const UncertainGraph& g, uint64_t seed);
+
+  /// Estimates R(s, t, G) from `num_samples` sampled worlds (Equation 2).
+  double Reliability(NodeId s, NodeId t, int num_samples);
+
+  /// Fraction of worlds in which each node is reachable from s — the paper's
+  /// "reliability from the source" used by search-space elimination (§5.1.1).
+  std::vector<double> FromSource(NodeId s, int num_samples);
+
+  /// Fraction of worlds in which each node reaches t (reverse traversal).
+  std::vector<double> ToTarget(NodeId t, int num_samples);
+
+  /// Probability that *any* source reaches t, i.e. R(S, t) under the
+  /// multi-source semantics of §8.4.2.
+  double SetReliability(const std::vector<NodeId>& sources, NodeId t,
+                        int num_samples);
+
+  /// Fraction of worlds each node is reachable from at least one source.
+  std::vector<double> FromSourceSet(const std::vector<NodeId>& sources,
+                                    int num_samples);
+
+  const UncertainGraph& graph() const { return graph_; }
+
+ private:
+  // One sampled-world BFS. Reverse=true walks in-arcs. Visits are recorded in
+  // visited_; traversal stops early when `stop_at` is reached (pass
+  // kInvalidNode to disable).
+  template <bool kReverse>
+  bool SampleWorldBfs(const std::vector<NodeId>& seeds, NodeId stop_at);
+
+  // Coin flip for `arc`, coherent within the current world.
+  bool ArcExists(const Arc& arc);
+
+  const UncertainGraph& graph_;
+  Rng rng_;
+  VisitMarker visited_;
+  std::vector<NodeId> queue_;
+  // Per-world edge outcome cache (undirected graphs only).
+  std::vector<uint32_t> edge_epoch_;
+  std::vector<char> edge_present_;
+  uint32_t world_epoch_ = 0;
+};
+
+/// One-shot wrapper: Monte Carlo estimate of R(s, t, G).
+double EstimateReliability(const UncertainGraph& g, NodeId s, NodeId t,
+                           const SampleOptions& options = {});
+
+/// One-shot wrapper: reliability of every node from source s.
+std::vector<double> ReliabilityFromSource(const UncertainGraph& g, NodeId s,
+                                          const SampleOptions& options = {});
+
+/// One-shot wrapper: reliability of every node to target t.
+std::vector<double> ReliabilityToTarget(const UncertainGraph& g, NodeId t,
+                                        const SampleOptions& options = {});
+
+}  // namespace relmax
+
+#endif  // RELMAX_SAMPLING_RELIABILITY_H_

@@ -1,0 +1,211 @@
+#include "sampling/rss.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relmax {
+
+RssSampler::RssSampler(const UncertainGraph& g, const RssOptions& options)
+    : graph_(g),
+      options_(options),
+      rng_(options.seed),
+      state_(g.num_edges(), EdgeState::kUndetermined),
+      visited_(g.num_nodes()),
+      edge_epoch_(g.directed() ? 0 : g.num_edges(), 0),
+      edge_present_(g.directed() ? 0 : g.num_edges(), 0) {
+  RELMAX_CHECK(options_.num_samples > 0);
+  RELMAX_CHECK(options_.strata_width > 0);
+  RELMAX_CHECK(options_.mc_threshold > 0);
+  queue_.reserve(g.num_nodes());
+}
+
+template <bool kReverse>
+std::vector<NodeId> RssSampler::CertainlyReached(
+    const std::vector<NodeId>& roots) const {
+  std::vector<char> seen(graph_.num_nodes(), 0);
+  std::vector<NodeId> reached;
+  for (NodeId r : roots) {
+    if (!seen[r]) {
+      seen[r] = 1;
+      reached.push_back(r);
+    }
+  }
+  for (size_t head = 0; head < reached.size(); ++head) {
+    const NodeId u = reached[head];
+    const std::vector<Arc>& arcs =
+        kReverse ? graph_.InArcs(u) : graph_.OutArcs(u);
+    for (const Arc& arc : arcs) {
+      if (state_[arc.edge_id] == EdgeState::kPresent && !seen[arc.to]) {
+        seen[arc.to] = 1;
+        reached.push_back(arc.to);
+      }
+    }
+  }
+  return reached;
+}
+
+template <bool kReverse>
+double RssSampler::ConditionedMc(const std::vector<NodeId>& roots,
+                                 NodeId target, int num_samples,
+                                 double weight) {
+  int hits = 0;
+  std::vector<int> counts;
+  if (all_nodes_mode_) counts.assign(graph_.num_nodes(), 0);
+
+  for (int sample = 0; sample < num_samples; ++sample) {
+    visited_.NewEpoch();
+    ++world_epoch_;
+    queue_.clear();
+    bool hit = false;
+    for (NodeId r : roots) {
+      if (visited_.Visit(r)) {
+        if (r == target) hit = true;
+        queue_.push_back(r);
+      }
+    }
+    for (size_t head = 0; head < queue_.size() && !hit; ++head) {
+      const NodeId u = queue_[head];
+      const std::vector<Arc>& arcs =
+          kReverse ? graph_.InArcs(u) : graph_.OutArcs(u);
+      for (const Arc& arc : arcs) {
+        if (visited_.Visited(arc.to)) continue;
+        const EdgeState st = state_[arc.edge_id];
+        bool exists;
+        if (st == EdgeState::kPresent) {
+          exists = true;
+        } else if (st == EdgeState::kAbsent) {
+          exists = false;
+        } else if (graph_.directed()) {
+          exists = rng_.NextBernoulli(arc.prob);
+        } else {
+          // Coherent flip for the undirected edge within this world.
+          if (edge_epoch_[arc.edge_id] != world_epoch_) {
+            edge_epoch_[arc.edge_id] = world_epoch_;
+            edge_present_[arc.edge_id] = rng_.NextBernoulli(arc.prob) ? 1 : 0;
+          }
+          exists = edge_present_[arc.edge_id] != 0;
+        }
+        if (!exists) continue;
+        visited_.Visit(arc.to);
+        if (arc.to == target) {
+          hit = true;
+          break;
+        }
+        queue_.push_back(arc.to);
+      }
+    }
+    if (hit) ++hits;
+    if (all_nodes_mode_) {
+      for (NodeId v : queue_) ++counts[v];
+    }
+  }
+
+  if (all_nodes_mode_) {
+    for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
+      if (counts[v] > 0) {
+        acc_[v] += weight * static_cast<double>(counts[v]) / num_samples;
+      }
+    }
+    return 0.0;
+  }
+  return static_cast<double>(hits) / num_samples;
+}
+
+template <bool kReverse>
+double RssSampler::Recurse(const std::vector<NodeId>& roots, NodeId target,
+                           double budget, double weight) {
+  const std::vector<NodeId> reached = CertainlyReached<kReverse>(roots);
+  if (!all_nodes_mode_) {
+    for (NodeId v : reached) {
+      if (v == target) return 1.0;
+    }
+  }
+
+  if (budget < options_.mc_threshold) {
+    const int samples =
+        std::max(1, static_cast<int>(std::llround(std::ceil(budget))));
+    return ConditionedMc<kReverse>(roots, target, samples, weight);
+  }
+
+  // Pivot on up to `strata_width` undetermined frontier edges: only edges
+  // leaving the certainly-reached set can extend it, so conditioning on them
+  // partitions the remaining uncertainty that matters.
+  std::vector<char> in_reached(graph_.num_nodes(), 0);
+  for (NodeId v : reached) in_reached[v] = 1;
+  std::vector<EdgeId> pivots;
+  std::vector<double> pivot_probs;
+  for (NodeId u : reached) {
+    const std::vector<Arc>& arcs =
+        kReverse ? graph_.InArcs(u) : graph_.OutArcs(u);
+    for (const Arc& arc : arcs) {
+      if (state_[arc.edge_id] != EdgeState::kUndetermined) continue;
+      if (in_reached[arc.to]) continue;
+      pivots.push_back(arc.edge_id);
+      pivot_probs.push_back(arc.prob);
+      if (static_cast<int>(pivots.size()) >= options_.strata_width) break;
+    }
+    if (static_cast<int>(pivots.size()) >= options_.strata_width) break;
+  }
+
+  if (pivots.empty()) {
+    // Reachability fully determined: t unreachable in s-t mode; contribute
+    // the reached set with this stratum's full weight otherwise.
+    if (all_nodes_mode_) {
+      for (NodeId v : reached) acc_[v] += weight;
+    }
+    return 0.0;
+  }
+
+  double result = 0.0;
+  double prefix_absent = 1.0;  // Π_{j<i} (1 − p(e_j))
+  for (size_t i = 0; i < pivots.size(); ++i) {
+    const double pi = prefix_absent * pivot_probs[i];
+    if (pi > 0.0) {
+      state_[pivots[i]] = EdgeState::kPresent;
+      result += pi * Recurse<kReverse>(roots, target, budget * pi, weight * pi);
+    }
+    state_[pivots[i]] = EdgeState::kAbsent;
+    prefix_absent *= 1.0 - pivot_probs[i];
+    if (prefix_absent == 0.0) break;
+  }
+  if (prefix_absent > 0.0) {
+    // Final stratum: all pivot edges absent (they are already marked so).
+    result += prefix_absent *
+              Recurse<kReverse>(roots, target, budget * prefix_absent,
+                                weight * prefix_absent);
+  }
+  for (EdgeId e : pivots) state_[e] = EdgeState::kUndetermined;
+  return result;
+}
+
+double RssSampler::Reliability(NodeId s, NodeId t) {
+  RELMAX_CHECK(s < graph_.num_nodes() && t < graph_.num_nodes());
+  if (s == t) return 1.0;
+  std::fill(state_.begin(), state_.end(), EdgeState::kUndetermined);
+  return Recurse<false>({s}, t, options_.num_samples, 1.0);
+}
+
+template <bool kReverse>
+std::vector<double> RssSampler::AllNodes(NodeId root) {
+  RELMAX_CHECK(root < graph_.num_nodes());
+  std::fill(state_.begin(), state_.end(), EdgeState::kUndetermined);
+  acc_.assign(graph_.num_nodes(), 0.0);
+  all_nodes_mode_ = true;
+  Recurse<kReverse>({root}, kInvalidNode, options_.num_samples, 1.0);
+  all_nodes_mode_ = false;
+  return std::move(acc_);
+}
+
+std::vector<double> RssSampler::FromSource(NodeId s) {
+  return AllNodes<false>(s);
+}
+
+std::vector<double> RssSampler::ToTarget(NodeId t) { return AllNodes<true>(t); }
+
+double EstimateReliabilityRss(const UncertainGraph& g, NodeId s, NodeId t,
+                              const RssOptions& options) {
+  RssSampler sampler(g, options);
+  return sampler.Reliability(s, t);
+}
+
+}  // namespace relmax

@@ -1,0 +1,96 @@
+#ifndef RELMAX_SAMPLING_RSS_H_
+#define RELMAX_SAMPLING_RSS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+#include "graph/visit_marker.h"
+
+namespace relmax {
+
+/// Knobs for recursive stratified sampling (Li et al. [19], §5.3 of the
+/// paper).
+struct RssOptions {
+  /// Total sample budget Z, divided among strata as Z_i = π_i · Z.
+  int num_samples = 250;
+  /// Edges r selected per stratification level (the paper's r).
+  int strata_width = 6;
+  /// Below this per-stratum budget, fall back to plain Monte Carlo on the
+  /// simplified graph.
+  int mc_threshold = 12;
+  uint64_t seed = 42;
+};
+
+/// Recursive stratified sampling estimator.
+///
+/// The probability space is recursively partitioned by conditioning on r
+/// frontier edges: stratum i fixes edges e_1..e_{i-1} absent and e_i present
+/// (stratum r+1 fixes all r absent), contributing with weight
+/// π_i = p(e_i)·Π_{j<i}(1−p(e_j)). Strata whose budget falls below
+/// `mc_threshold` are estimated by Monte Carlo on the simplified
+/// (conditioned) graph. The estimator is unbiased and has strictly smaller
+/// variance than plain MC with the same budget, which is why the paper's
+/// Tables 6–7 reach the convergence threshold with roughly half the samples.
+class RssSampler {
+ public:
+  RssSampler(const UncertainGraph& g, const RssOptions& options);
+
+  /// Estimates R(s, t, G).
+  double Reliability(NodeId s, NodeId t);
+
+  /// Reliability of every node from s (stratified analogue of
+  /// MonteCarloSampler::FromSource), used by search-space elimination.
+  std::vector<double> FromSource(NodeId s);
+
+  /// Reliability of every node to t (reverse traversal).
+  std::vector<double> ToTarget(NodeId t);
+
+ private:
+  enum class EdgeState : uint8_t { kUndetermined, kPresent, kAbsent };
+
+  // Nodes certainly reachable from `roots` via kPresent edges.
+  // kReverse walks in-arcs.
+  template <bool kReverse>
+  std::vector<NodeId> CertainlyReached(const std::vector<NodeId>& roots) const;
+
+  // Recursive stratification. `weight` is the probability mass π of the
+  // current stratum; `budget` its sample allowance. In s-t mode (target !=
+  // kInvalidNode) returns the conditional reliability estimate; in all-nodes
+  // mode accumulates weight-scaled per-node reachability into acc_ at the
+  // leaves and returns 0.
+  template <bool kReverse>
+  double Recurse(const std::vector<NodeId>& roots, NodeId target,
+                 double budget, double weight);
+
+  // Plain MC on the conditioned graph: kPresent edges are certain, kAbsent
+  // edges are gone, the rest keep p(e).
+  template <bool kReverse>
+  double ConditionedMc(const std::vector<NodeId>& roots, NodeId target,
+                       int num_samples, double weight);
+
+  template <bool kReverse>
+  std::vector<double> AllNodes(NodeId root);
+
+  const UncertainGraph& graph_;
+  RssOptions options_;
+  Rng rng_;
+  std::vector<EdgeState> state_;
+  // All-nodes mode accumulator (weighted reach probability per node).
+  std::vector<double> acc_;
+  bool all_nodes_mode_ = false;
+  // Scratch for ConditionedMc.
+  VisitMarker visited_;
+  std::vector<NodeId> queue_;
+  std::vector<uint32_t> edge_epoch_;
+  std::vector<char> edge_present_;
+  uint32_t world_epoch_ = 0;
+};
+
+/// One-shot wrapper: RSS estimate of R(s, t, G).
+double EstimateReliabilityRss(const UncertainGraph& g, NodeId s, NodeId t,
+                              const RssOptions& options = {});
+
+}  // namespace relmax
+
+#endif  // RELMAX_SAMPLING_RSS_H_

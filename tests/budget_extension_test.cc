@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/budget_extension.h"
+#include "graph/exact_reliability.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+namespace {
+
+SolverOptions FastOptions() {
+  SolverOptions options;
+  options.top_r = 12;
+  options.top_l = 15;
+  options.hop_h = -1;
+  options.elimination_samples = 500;
+  options.num_samples = 1500;
+  options.seed = 5;
+  return options;
+}
+
+// Two-hop gap: s(0) - 1 exists, 1 - 2 and 0 - 2 are missing, t = 2.
+UncertainGraph GapGraph() {
+  UncertainGraph g = UncertainGraph::Undirected(3);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.8).ok());
+  return g;
+}
+
+TEST(BudgetExtensionTest, AllocatesBudgetToUsefulEdges) {
+  const UncertainGraph g = GapGraph();
+  BudgetOptions budget{.total_budget = 0.9, .max_edges = 2, .units = 9,
+                       .max_edge_prob = 0.9};
+  auto solution =
+      MaximizeReliabilityWithProbabilityBudget(g, 0, 2, budget, FastOptions());
+  ASSERT_TRUE(solution.ok()) << solution.status().ToString();
+  EXPECT_FALSE(solution->added_edges.empty());
+  EXPECT_LE(solution->budget_used, 0.9 + 1e-9);
+  EXPECT_GT(solution->gain(), 0.3);
+  // The best single allocation is the full 0.9 on the direct edge (0, 2):
+  // R = 1 - (1 - 0.9)(1 - 0.8 p_12)... with p_12 = 0 -> 0.9.
+  ASSERT_EQ(solution->added_edges.size(), 1u);
+  const Edge& e = solution->added_edges[0];
+  EXPECT_TRUE((e.src == 0 && e.dst == 2) || (e.src == 2 && e.dst == 0));
+  EXPECT_NEAR(e.prob, 0.9, 1e-9);
+}
+
+TEST(BudgetExtensionTest, MaxEdgesLimitsDistinctEdges) {
+  // Rich candidate space but only one distinct edge allowed.
+  UncertainGraph g = UncertainGraph::Undirected(5);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 4, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(2, 4, 0.5).ok());
+  BudgetOptions budget{.total_budget = 1.6, .max_edges = 1, .units = 8,
+                       .max_edge_prob = 0.8};
+  auto solution =
+      MaximizeReliabilityWithProbabilityBudget(g, 0, 4, budget, FastOptions());
+  ASSERT_TRUE(solution.ok());
+  EXPECT_LE(solution->added_edges.size(), 1u);
+  if (!solution->added_edges.empty()) {
+    EXPECT_LE(solution->added_edges[0].prob, 0.8 + 1e-9);
+  }
+}
+
+TEST(BudgetExtensionTest, BudgetCapBinds) {
+  const UncertainGraph g = GapGraph();
+  BudgetOptions small{.total_budget = 0.3, .max_edges = 3, .units = 3,
+                      .max_edge_prob = 0.95};
+  BudgetOptions large{.total_budget = 1.8, .max_edges = 3, .units = 18,
+                      .max_edge_prob = 0.95};
+  auto with_small =
+      MaximizeReliabilityWithProbabilityBudget(g, 0, 2, small, FastOptions());
+  auto with_large =
+      MaximizeReliabilityWithProbabilityBudget(g, 0, 2, large, FastOptions());
+  ASSERT_TRUE(with_small.ok() && with_large.ok());
+  EXPECT_LE(with_small->budget_used, 0.3 + 1e-9);
+  // More budget can never hurt (greedy may leave slack but not regress).
+  EXPECT_GE(with_large->gain() + 0.05, with_small->gain());
+}
+
+TEST(BudgetExtensionTest, FixedZetaIsASpecialCase) {
+  // With budget = k * zeta, units = k, and max_edge_prob = zeta, each opened
+  // edge gets exactly zeta — the original Problem 1 allocation.
+  const UncertainGraph g = GapGraph();
+  BudgetOptions budget{.total_budget = 1.0, .max_edges = 2, .units = 2,
+                       .max_edge_prob = 0.5};
+  auto solution =
+      MaximizeReliabilityWithProbabilityBudget(g, 0, 2, budget, FastOptions());
+  ASSERT_TRUE(solution.ok());
+  for (const Edge& e : solution->added_edges) {
+    EXPECT_NEAR(e.prob, 0.5, 1e-9);
+  }
+}
+
+TEST(BudgetExtensionTest, DegenerateAndInvalidInputs) {
+  const UncertainGraph g = GapGraph();
+  auto self = MaximizeReliabilityWithProbabilityBudget(
+      g, 1, 1, {.total_budget = 1.0}, FastOptions());
+  ASSERT_TRUE(self.ok());
+  EXPECT_DOUBLE_EQ(self->reliability_after, 1.0);
+
+  EXPECT_EQ(MaximizeReliabilityWithProbabilityBudget(
+                g, 0, 9, {.total_budget = 1.0}, FastOptions())
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(MaximizeReliabilityWithProbabilityBudget(
+                g, 0, 2, {.total_budget = -1.0}, FastOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MaximizeReliabilityWithProbabilityBudget(
+                g, 0, 2, {.total_budget = 1.0, .max_edges = 0}, FastOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      MaximizeReliabilityWithProbabilityBudget(
+          g, 0, 2, {.total_budget = 1.0, .max_edge_prob = 1.5}, FastOptions())
+          .status()
+          .code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST(BudgetExtensionTest, SplitAllocationBeatsSingleEdgeWhenCapBinds) {
+  // With a low per-edge cap, spreading budget across two parallel routes
+  // beats piling it on one: 1-(1-0.4)(1-0.4) = 0.64 > 0.4.
+  UncertainGraph g = UncertainGraph::Undirected(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1.0).ok());
+  // Missing: (1, 3) and (2, 3); direct (0, 3) too.
+  BudgetOptions budget{.total_budget = 0.8, .max_edges = 3, .units = 8,
+                       .max_edge_prob = 0.4};
+  auto solution =
+      MaximizeReliabilityWithProbabilityBudget(g, 0, 3, budget, FastOptions());
+  ASSERT_TRUE(solution.ok());
+  EXPECT_GE(solution->added_edges.size(), 2u);
+  EXPECT_GT(solution->gain(), 0.5);
+}
+
+}  // namespace
+}  // namespace relmax

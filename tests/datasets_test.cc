@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "gen/datasets.h"
+#include "gen/queries.h"
+#include "graph/bfs.h"
+#include "graph/graph_stats.h"
+
+namespace relmax {
+namespace {
+
+TEST(DatasetsTest, RegistryBuildsEveryName) {
+  for (const std::string& name : DatasetNames()) {
+    auto dataset = MakeDataset(name, /*scale=*/0.02, /*seed=*/1);
+    ASSERT_TRUE(dataset.ok()) << name << ": " << dataset.status().ToString();
+    EXPECT_EQ(dataset->name, name);
+    EXPECT_GT(dataset->graph.num_nodes(), 0u) << name;
+    EXPECT_GT(dataset->graph.num_edges(), 0u) << name;
+  }
+}
+
+TEST(DatasetsTest, UnknownNameRejected) {
+  EXPECT_EQ(MakeDataset("facebook").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(MakeDataset("dblp", -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetsTest, DeterministicForSeed) {
+  auto a = MakeDataset("twitter", 0.02, 7);
+  auto b = MakeDataset("twitter", 0.02, 7);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  EXPECT_EQ(a->graph.Edges(), b->graph.Edges());
+}
+
+TEST(DatasetsTest, IntelLabShape) {
+  auto lab = MakeDataset("intel_lab");
+  ASSERT_TRUE(lab.ok());
+  EXPECT_EQ(lab->graph.num_nodes(), 54u);
+  EXPECT_EQ(lab->positions.size(), 54u);
+  EXPECT_TRUE(lab->graph.directed());
+  // Paper: 969 directed links, mean probability ~0.33; allow generous bands.
+  EXPECT_GT(lab->graph.num_edges(), 250u);
+  EXPECT_LT(lab->graph.num_edges(), 1600u);
+  const GraphStats stats = ComputeGraphStats(lab->graph);
+  EXPECT_GT(stats.prob_mean, 0.2);
+  EXPECT_LT(stats.prob_mean, 0.45);
+  // No link longer than the 20 m radio range.
+  for (const Edge& e : lab->graph.Edges()) {
+    EXPECT_LE(DistanceMeters(*lab, e.src, e.dst), 20.0 + 1e-9);
+  }
+}
+
+TEST(DatasetsTest, RegularDatasetsAreRegular) {
+  auto reg = MakeDataset("regular1", 0.02, 3);
+  ASSERT_TRUE(reg.ok());
+  for (NodeId v = 0; v < reg->graph.num_nodes(); ++v) {
+    EXPECT_EQ(reg->graph.OutArcs(v).size(), 5u);
+  }
+}
+
+TEST(DatasetsTest, EdgeDensitiesScaleAsInTable8) {
+  // The "2" variants double the "1" variants' edge counts.
+  auto r1 = MakeDataset("random1", 0.02, 3);
+  auto r2 = MakeDataset("random2", 0.02, 3);
+  ASSERT_TRUE(r1.ok() && r2.ok());
+  EXPECT_NEAR(static_cast<double>(r2->graph.num_edges()),
+              2.0 * r1->graph.num_edges(), r1->graph.num_edges() * 0.1);
+}
+
+TEST(DatasetsTest, SmallWorldBeatsRegularOnPathLength) {
+  // Table 8 shape: regular graphs have much longer average shortest paths
+  // than small-world graphs of the same size/density.
+  auto reg = MakeDataset("regular1", 0.02, 3);
+  auto sw = MakeDataset("smallworld1", 0.02, 3);
+  ASSERT_TRUE(reg.ok() && sw.ok());
+  const double spl_reg = ComputeGraphStats(reg->graph).avg_spl;
+  const double spl_sw = ComputeGraphStats(sw->graph).avg_spl;
+  EXPECT_GT(spl_reg, 1.5 * spl_sw);
+}
+
+TEST(DatasetsTest, DblpHasHighClustering) {
+  auto dblp = MakeDataset("dblp", 0.02, 3);
+  auto twitter = MakeDataset("twitter", 0.02, 3);
+  ASSERT_TRUE(dblp.ok() && twitter.ok());
+  EXPECT_GT(ComputeGraphStats(dblp->graph).clustering_coefficient, 0.2);
+}
+
+TEST(DatasetsTest, AsTopologyIsDirected) {
+  auto as = MakeDataset("as_topology", 0.02, 3);
+  ASSERT_TRUE(as.ok());
+  EXPECT_TRUE(as->graph.directed());
+  const GraphStats stats = ComputeGraphStats(as->graph);
+  EXPECT_GT(stats.prob_mean, 0.15);
+  EXPECT_LT(stats.prob_mean, 0.35);
+}
+
+// --------------------------------------------------------------- queries
+
+TEST(QueriesTest, PairsRespectDistanceBand) {
+  auto dataset = MakeDataset("lastfm", 0.1, 5);
+  ASSERT_TRUE(dataset.ok());
+  auto queries = GenerateQueries(dataset->graph, 20,
+                                 {.min_hops = 3, .max_hops = 5, .seed = 2});
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+  ASSERT_EQ(queries->size(), 20u);
+  for (const auto& [s, t] : *queries) {
+    // Verify the hop distance truly lies in [3, 5].
+    const std::vector<int> dist = HopDistances(dataset->graph, s, 5);
+    ASSERT_NE(dist[t], kUnreachable);
+    EXPECT_GE(dist[t], 3);
+    EXPECT_LE(dist[t], 5);
+  }
+}
+
+TEST(QueriesTest, DeterministicForSeed) {
+  auto dataset = MakeDataset("lastfm", 0.1, 5);
+  ASSERT_TRUE(dataset.ok());
+  auto a = GenerateQueries(dataset->graph, 5, {.seed = 11});
+  auto b = GenerateQueries(dataset->graph, 5, {.seed = 11});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(*a, *b);
+}
+
+TEST(QueriesTest, MultiQueryDisjointSets) {
+  auto dataset = MakeDataset("lastfm", 0.1, 5);
+  ASSERT_TRUE(dataset.ok());
+  auto query = GenerateMultiQuery(dataset->graph, 5, {.seed = 3});
+  ASSERT_TRUE(query.ok()) << query.status().ToString();
+  EXPECT_EQ(query->sources.size(), 5u);
+  EXPECT_EQ(query->targets.size(), 5u);
+  for (NodeId s : query->sources) {
+    EXPECT_EQ(std::count(query->targets.begin(), query->targets.end(), s), 0);
+  }
+}
+
+TEST(QueriesTest, ValidatesArguments) {
+  auto dataset = MakeDataset("lastfm", 0.1, 5);
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(GenerateQueries(dataset->graph, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GenerateQueries(dataset->graph, 1,
+                            {.min_hops = 5, .max_hops = 3})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  UncertainGraph tiny = UncertainGraph::Directed(1);
+  EXPECT_EQ(GenerateQueries(tiny, 1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace relmax

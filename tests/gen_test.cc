@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "gen/prob_models.h"
+#include "graph/graph_stats.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+namespace {
+
+TEST(GeneratorsTest, GnmExactEdgeCount) {
+  Rng rng(1);
+  auto g = GenerateRandomGnm(500, 1200, &rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_nodes(), 500u);
+  EXPECT_EQ(g->num_edges(), 1200u);
+  EXPECT_FALSE(g->directed());
+}
+
+TEST(GeneratorsTest, GnmRejectsImpossibleDensity) {
+  Rng rng(1);
+  EXPECT_EQ(GenerateRandomGnm(4, 100, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(GenerateRandomGnm(1, 0, &rng).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GeneratorsTest, GnmDeterministicForSeed) {
+  Rng a(9);
+  Rng b(9);
+  auto g1 = GenerateRandomGnm(200, 500, &a);
+  auto g2 = GenerateRandomGnm(200, 500, &b);
+  ASSERT_TRUE(g1.ok() && g2.ok());
+  EXPECT_EQ(g1->Edges().size(), g2->Edges().size());
+  const auto e1 = g1->Edges();
+  const auto e2 = g2->Edges();
+  for (size_t i = 0; i < e1.size(); ++i) {
+    EXPECT_EQ(e1[i].src, e2[i].src);
+    EXPECT_EQ(e1[i].dst, e2[i].dst);
+  }
+}
+
+TEST(GeneratorsTest, KRegularAllDegreesEqual) {
+  Rng rng(2);
+  auto g = GenerateKRegular(300, 6, &rng);
+  ASSERT_TRUE(g.ok());
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    EXPECT_EQ(g->OutArcs(v).size(), 6u) << "node " << v;
+  }
+  EXPECT_EQ(g->num_edges(), 300u * 6 / 2);
+}
+
+TEST(GeneratorsTest, KRegularValidation) {
+  Rng rng(2);
+  EXPECT_EQ(GenerateKRegular(5, 3, &rng).status().code(),
+            StatusCode::kInvalidArgument);  // n*k odd
+  EXPECT_EQ(GenerateKRegular(5, 5, &rng).status().code(),
+            StatusCode::kInvalidArgument);  // k >= n
+}
+
+TEST(GeneratorsTest, SmallWorldHasLatticeDensityAndShortcuts) {
+  Rng rng(3);
+  auto g = GenerateSmallWorld(1000, 6, 0.3, &rng);
+  ASSERT_TRUE(g.ok());
+  // Each node contributes ~k/2 = 3 edges (some rewires collide).
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), 3000.0, 150.0);
+  // Rewiring must create at least one long-range shortcut.
+  bool has_shortcut = false;
+  for (const Edge& e : g->Edges()) {
+    const int ring_gap = std::min<int>(
+        std::abs(static_cast<int>(e.src) - static_cast<int>(e.dst)),
+        1000 - std::abs(static_cast<int>(e.src) - static_cast<int>(e.dst)));
+    if (ring_gap > 10) {
+      has_shortcut = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_shortcut);
+}
+
+TEST(GeneratorsTest, SmallWorldClusteringExceedsRandom) {
+  Rng rng(4);
+  auto ws = GenerateSmallWorld(2000, 8, 0.1, &rng);
+  auto er = GenerateRandomGnm(2000, 8000, &rng);
+  ASSERT_TRUE(ws.ok() && er.ok());
+  const double c_ws = ComputeGraphStats(*ws).clustering_coefficient;
+  const double c_er = ComputeGraphStats(*er).clustering_coefficient;
+  EXPECT_GT(c_ws, 3.0 * c_er);
+}
+
+TEST(GeneratorsTest, ScaleFreeHasHubs) {
+  Rng rng(5);
+  auto g = GenerateScaleFree(3000, 2, &rng);
+  ASSERT_TRUE(g.ok());
+  // m edges per node after the seed clique.
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), 2.0 * 3000, 120.0);
+  size_t max_degree = 0;
+  for (NodeId v = 0; v < g->num_nodes(); ++v) {
+    max_degree = std::max(max_degree, g->OutArcs(v).size());
+  }
+  // Preferential attachment produces hubs far above the mean degree (4).
+  EXPECT_GT(max_degree, 40u);
+}
+
+TEST(GeneratorsTest, ScaleFreeAlternatingM) {
+  Rng rng(6);
+  auto g = GenerateScaleFree(2000, 2, &rng, /*alternate_m=*/3);
+  ASSERT_TRUE(g.ok());
+  // Mean edges per node ~2.5.
+  EXPECT_NEAR(static_cast<double>(g->num_edges()), 2.5 * 2000, 150.0);
+}
+
+TEST(GeneratorsTest, PowerlawClusterBoostsClustering) {
+  Rng rng(7);
+  auto plain = GenerateScaleFree(2000, 4, &rng);
+  auto clustered = GeneratePowerlawCluster(2000, 4, 0.8, &rng);
+  ASSERT_TRUE(plain.ok() && clustered.ok());
+  EXPECT_GT(ComputeGraphStats(*clustered).clustering_coefficient,
+            2.0 * ComputeGraphStats(*plain).clustering_coefficient);
+}
+
+// ----------------------------------------------------------- prob models
+
+UncertainGraph ProbTestGraph(Rng* rng) {
+  auto g = GenerateRandomGnm(400, 1200, rng);
+  EXPECT_TRUE(g.ok());
+  return *std::move(g);
+}
+
+TEST(ProbModelsTest, UniformRange) {
+  Rng rng(8);
+  UncertainGraph g = ProbTestGraph(&rng);
+  AssignUniformProbabilities(&g, 0.0, 0.6, &rng);
+  double sum = 0.0;
+  for (const Edge& e : g.Edges()) {
+    EXPECT_GE(e.prob, 0.0);
+    EXPECT_LE(e.prob, 0.6);
+    sum += e.prob;
+  }
+  EXPECT_NEAR(sum / g.num_edges(), 0.3, 0.02);
+}
+
+TEST(ProbModelsTest, NormalClipped) {
+  Rng rng(9);
+  UncertainGraph g = ProbTestGraph(&rng);
+  AssignNormalProbabilities(&g, 0.5, 0.038, &rng);
+  double sum = 0.0;
+  for (const Edge& e : g.Edges()) {
+    EXPECT_GT(e.prob, 0.0);
+    EXPECT_LE(e.prob, 1.0);
+    sum += e.prob;
+  }
+  EXPECT_NEAR(sum / g.num_edges(), 0.5, 0.01);
+}
+
+TEST(ProbModelsTest, InverseOutDegree) {
+  UncertainGraph g = UncertainGraph::Directed(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.0).ok());
+  ASSERT_TRUE(g.AddEdge(3, 0, 0.0).ok());
+  AssignInverseOutDegreeProbabilities(&g);
+  EXPECT_DOUBLE_EQ(g.EdgeProb(0, 1).value(), 0.5);  // out-degree(0) = 2
+  EXPECT_DOUBLE_EQ(g.EdgeProb(0, 2).value(), 0.5);
+  EXPECT_DOUBLE_EQ(g.EdgeProb(3, 0).value(), 1.0);  // out-degree(3) = 1
+}
+
+TEST(ProbModelsTest, ExponentialCdfSmallProbabilities) {
+  Rng rng(10);
+  UncertainGraph g = ProbTestGraph(&rng);
+  AssignExponentialCdfProbabilities(&g, 2.2, 20.0, &rng);
+  double sum = 0.0;
+  for (const Edge& e : g.Edges()) {
+    EXPECT_GT(e.prob, 0.0);
+    EXPECT_LT(e.prob, 1.0);
+    sum += e.prob;
+  }
+  // Counts with mean 2.2 and mu = 20 give probabilities near 0.1 (DBLP).
+  EXPECT_NEAR(sum / g.num_edges(), 0.10, 0.03);
+}
+
+}  // namespace
+}  // namespace relmax

@@ -1,0 +1,146 @@
+// Reference-model test: drives UncertainGraph through randomized operation
+// sequences and cross-checks every observable against a trivial
+// std::map-based model. Catches representation bugs (adjacency vs index
+// drift) that example-based tests miss.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+namespace {
+
+class ReferenceModel {
+ public:
+  explicit ReferenceModel(bool directed) : directed_(directed) {}
+
+  bool AddEdge(NodeId u, NodeId v, double p) {
+    if (u == v || p < 0.0 || p > 1.0 || u >= nodes_ || v >= nodes_) {
+      return false;
+    }
+    return edges_.emplace(Key(u, v), p).second;
+  }
+
+  bool UpdateProb(NodeId u, NodeId v, double p) {
+    if (p < 0.0 || p > 1.0) return false;
+    auto it = edges_.find(Key(u, v));
+    if (it == edges_.end()) return false;
+    it->second = p;
+    return true;
+  }
+
+  std::optional<double> Prob(NodeId u, NodeId v) const {
+    auto it = edges_.find(Key(u, v));
+    if (it == edges_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Neighbor multiset of u via outgoing arcs.
+  std::multiset<NodeId> OutNeighbors(NodeId u) const {
+    std::multiset<NodeId> out;
+    for (const auto& [key, p] : edges_) {
+      if (key.first == u) out.insert(key.second);
+      if (!directed_ && key.second == u) out.insert(key.first);
+    }
+    return out;
+  }
+
+  void AddNode() { ++nodes_; }
+  NodeId nodes() const { return nodes_; }
+  size_t edges() const { return edges_.size(); }
+
+ private:
+  std::pair<NodeId, NodeId> Key(NodeId u, NodeId v) const {
+    if (!directed_ && u > v) std::swap(u, v);
+    return {u, v};
+  }
+
+  bool directed_;
+  NodeId nodes_ = 0;
+  std::map<std::pair<NodeId, NodeId>, double> edges_;
+};
+
+class GraphModelSweep : public testing::TestWithParam<int> {};
+
+TEST_P(GraphModelSweep, RandomOperationSequencesAgree) {
+  const bool directed = GetParam() % 2 == 0;
+  Rng rng(8800 + GetParam());
+  UncertainGraph graph =
+      directed ? UncertainGraph::Directed(4) : UncertainGraph::Undirected(4);
+  ReferenceModel model(directed);
+  for (int i = 0; i < 4; ++i) model.AddNode();
+
+  for (int step = 0; step < 600; ++step) {
+    const int op = static_cast<int>(rng.NextUint64(10));
+    if (op == 0 && model.nodes() < 24) {
+      graph.AddNode();
+      model.AddNode();
+    } else if (op <= 6) {
+      // AddEdge with occasionally invalid arguments.
+      const NodeId u = static_cast<NodeId>(rng.NextUint64(model.nodes() + 1));
+      const NodeId v = static_cast<NodeId>(rng.NextUint64(model.nodes() + 1));
+      const double p = rng.NextDouble(-0.1, 1.1);
+      const bool model_ok = model.AddEdge(u, v, p);
+      EXPECT_EQ(graph.AddEdge(u, v, p).ok(), model_ok)
+          << "step " << step << " add (" << u << "," << v << "," << p << ")";
+    } else if (op == 7) {
+      const NodeId u = static_cast<NodeId>(rng.NextUint64(model.nodes()));
+      const NodeId v = static_cast<NodeId>(rng.NextUint64(model.nodes()));
+      const double p = rng.NextDouble(-0.1, 1.1);
+      EXPECT_EQ(graph.UpdateEdgeProb(u, v, p).ok(), model.UpdateProb(u, v, p));
+    } else {
+      // Read-only probes.
+      const NodeId u = static_cast<NodeId>(rng.NextUint64(model.nodes()));
+      const NodeId v = static_cast<NodeId>(rng.NextUint64(model.nodes()));
+      const auto expected = model.Prob(u, v);
+      const auto actual = graph.EdgeProb(u, v);
+      EXPECT_EQ(actual.has_value(), expected.has_value());
+      if (actual.has_value() && expected.has_value()) {
+        EXPECT_DOUBLE_EQ(*actual, *expected);
+      }
+      EXPECT_EQ(graph.HasEdge(u, v), expected.has_value());
+    }
+
+    // Periodic full-state audit.
+    if (step % 97 == 0) {
+      ASSERT_EQ(graph.num_nodes(), model.nodes());
+      ASSERT_EQ(graph.num_edges(), model.edges());
+      for (NodeId u = 0; u < model.nodes(); ++u) {
+        std::multiset<NodeId> actual;
+        for (const Arc& arc : graph.OutArcs(u)) actual.insert(arc.to);
+        ASSERT_EQ(actual, model.OutNeighbors(u)) << "node " << u;
+      }
+    }
+  }
+
+  // Final audit: edge list contents and arc probabilities.
+  ASSERT_EQ(graph.num_edges(), model.edges());
+  for (const Edge& e : graph.Edges()) {
+    const auto expected = model.Prob(e.src, e.dst);
+    ASSERT_TRUE(expected.has_value());
+    EXPECT_DOUBLE_EQ(e.prob, *expected);
+    // EdgeById round-trips through EdgeIndexOf.
+    const auto id = graph.EdgeIndexOf(e.src, e.dst);
+    ASSERT_TRUE(id.has_value());
+    EXPECT_DOUBLE_EQ(graph.EdgeById(*id).prob, *expected);
+  }
+  // Transposed graph preserves edge count and probabilities.
+  const UncertainGraph transposed = graph.Transposed();
+  EXPECT_EQ(transposed.num_edges(), graph.num_edges());
+  for (const Edge& e : graph.Edges()) {
+    const auto p = directed ? transposed.EdgeProb(e.dst, e.src)
+                            : transposed.EdgeProb(e.src, e.dst);
+    ASSERT_TRUE(p.has_value());
+    EXPECT_DOUBLE_EQ(*p, e.prob);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GraphModelSweep, testing::Range(0, 8));
+
+}  // namespace
+}  // namespace relmax

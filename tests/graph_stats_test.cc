@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen/generators.h"
+#include "graph/graph_stats.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+namespace {
+
+TEST(GraphStatsTest, EmptyGraph) {
+  const GraphStats stats = ComputeGraphStats(UncertainGraph::Directed(0));
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_edges, 0u);
+  EXPECT_DOUBLE_EQ(stats.prob_mean, 0.0);
+}
+
+TEST(GraphStatsTest, ProbabilityMomentsAndQuartiles) {
+  UncertainGraph g = UncertainGraph::Undirected(5);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.1).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.2).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 0.3).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4, 0.4).ok());
+  ASSERT_TRUE(g.AddEdge(4, 0, 0.5).ok());
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_NEAR(stats.prob_mean, 0.3, 1e-12);
+  EXPECT_NEAR(stats.prob_q2, 0.3, 1e-12);
+  EXPECT_NEAR(stats.prob_q1, 0.2, 1e-12);
+  EXPECT_NEAR(stats.prob_q3, 0.4, 1e-12);
+  EXPECT_NEAR(stats.prob_sd, 0.15811, 1e-4);
+}
+
+TEST(GraphStatsTest, PathGraphSplAndDiameter) {
+  // Path of 6 nodes: diameter 5; exact avg SPL over ordered reachable pairs.
+  UncertainGraph g = UncertainGraph::Undirected(6);
+  for (NodeId i = 0; i + 1 < 6; ++i) ASSERT_TRUE(g.AddEdge(i, i + 1, 0.5).ok());
+  const GraphStats stats = ComputeGraphStats(g);
+  EXPECT_EQ(stats.longest_spl, 5);
+  // Sum over ordered pairs of |i - j| = 2 * 35 = 70; pairs = 30.
+  EXPECT_NEAR(stats.avg_spl, 70.0 / 30.0, 1e-9);
+}
+
+TEST(GraphStatsTest, TriangleClusteringIsOne) {
+  UncertainGraph g = UncertainGraph::Undirected(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.5).ok());
+  EXPECT_DOUBLE_EQ(ComputeGraphStats(g).clustering_coefficient, 1.0);
+}
+
+TEST(GraphStatsTest, StarClusteringIsZero) {
+  UncertainGraph g = UncertainGraph::Undirected(5);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) {
+    ASSERT_TRUE(g.AddEdge(0, leaf, 0.5).ok());
+  }
+  EXPECT_DOUBLE_EQ(ComputeGraphStats(g).clustering_coefficient, 0.0);
+}
+
+TEST(GraphStatsTest, SampledStatsStaySane) {
+  Rng rng(12);
+  auto g = GenerateScaleFree(5000, 3, &rng);
+  ASSERT_TRUE(g.ok());
+  const GraphStats stats = ComputeGraphStats(*g, {.num_bfs_sources = 16});
+  EXPECT_GT(stats.avg_spl, 1.0);
+  EXPECT_LT(stats.avg_spl, 10.0);  // scale-free graphs are small-world
+  EXPECT_GE(stats.longest_spl, static_cast<int>(stats.avg_spl));
+  EXPECT_GE(stats.clustering_coefficient, 0.0);
+  EXPECT_LE(stats.clustering_coefficient, 1.0);
+}
+
+}  // namespace
+}  // namespace relmax

@@ -1,0 +1,156 @@
+// End-to-end integration tests: the full pipeline (dataset generation ->
+// query generation -> elimination -> path extraction -> selection ->
+// verification) across module boundaries, plus cross-method consistency.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/greedy.h"
+#include "core/candidates.h"
+#include "core/evaluate.h"
+#include "core/multi.h"
+#include "core/solver.h"
+#include "gen/datasets.h"
+#include "gen/queries.h"
+#include "graph/graph_io.h"
+#include "sampling/reliability.h"
+
+namespace relmax {
+namespace {
+
+SolverOptions PipelineOptions() {
+  SolverOptions options;
+  options.budget_k = 5;
+  options.zeta = 0.5;
+  options.top_r = 30;
+  options.top_l = 20;
+  options.hop_h = 3;
+  options.elimination_samples = 300;
+  options.num_samples = 300;
+  options.seed = 77;
+  return options;
+}
+
+class DatasetPipelineSweep : public testing::TestWithParam<const char*> {};
+
+TEST_P(DatasetPipelineSweep, EndToEndSolveOnDataset) {
+  auto dataset = MakeDataset(GetParam(), 0.05, 9);
+  ASSERT_TRUE(dataset.ok());
+  auto queries = GenerateQueries(dataset->graph, 2,
+                                 {.min_hops = 2, .max_hops = 5, .seed = 4});
+  ASSERT_TRUE(queries.ok()) << queries.status().ToString();
+
+  for (const auto& [s, t] : *queries) {
+    auto solution = MaximizeReliability(dataset->graph, s, t,
+                                        PipelineOptions());
+    ASSERT_TRUE(solution.ok()) << GetParam();
+    EXPECT_LE(solution->added_edges.size(), 5u);
+    // Independent verification of the claimed reliabilities.
+    const double before = EstimateReliability(
+        dataset->graph, s, t, {.num_samples = 3000, .seed = 123});
+    EXPECT_NEAR(solution->reliability_before, before, 0.1) << GetParam();
+    const double after = EstimateReliability(
+        AugmentGraph(dataset->graph, solution->added_edges), s, t,
+        {.num_samples = 3000, .seed = 123});
+    EXPECT_NEAR(solution->reliability_after, after, 0.1) << GetParam();
+    EXPECT_GE(after + 0.05, before) << GetParam();  // additions cannot hurt
+    // Every added edge respects the h-hop constraint and is genuinely new.
+    for (const Edge& e : solution->added_edges) {
+      EXPECT_FALSE(dataset->graph.HasEdge(e.src, e.dst));
+      EXPECT_DOUBLE_EQ(e.prob, 0.5);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, DatasetPipelineSweep,
+                         testing::Values("lastfm", "as_topology", "dblp",
+                                         "twitter", "smallworld1",
+                                         "scalefree1"));
+
+TEST(IntegrationTest, SolverBeatsNaiveBaselineOnAverage) {
+  auto dataset = MakeDataset("lastfm", 0.05, 11);
+  ASSERT_TRUE(dataset.ok());
+  auto queries = GenerateQueries(dataset->graph, 3,
+                                 {.min_hops = 3, .max_hops = 5, .seed = 6});
+  ASSERT_TRUE(queries.ok());
+
+  double be_total = 0.0;
+  double topk_total = 0.0;
+  const SolverOptions options = PipelineOptions();
+  for (const auto& [s, t] : *queries) {
+    auto candidates = SelectCandidates(dataset->graph, s, t, options);
+    ASSERT_TRUE(candidates.ok());
+    auto be = MaximizeReliabilityWithCandidates(dataset->graph, s, t,
+                                                *candidates, options);
+    ASSERT_TRUE(be.ok());
+    auto topk = SelectIndividualTopK(dataset->graph, s, t, candidates->edges,
+                                     options);
+    ASSERT_TRUE(topk.ok());
+
+    auto measure = [&](const std::vector<Edge>& edges) {
+      return EstimateReliability(AugmentGraph(dataset->graph, edges), s, t,
+                                 {.num_samples = 4000, .seed = 99});
+    };
+    be_total += measure(be->added_edges);
+    topk_total += measure(*topk);
+  }
+  // BE models edge interactions; individual top-k does not. Allow noise.
+  EXPECT_GE(be_total + 0.05, topk_total);
+}
+
+TEST(IntegrationTest, GraphRoundTripPreservesSolverBehavior) {
+  auto dataset = MakeDataset("smallworld1", 0.03, 13);
+  ASSERT_TRUE(dataset.ok());
+  const std::string path = testing::TempDir() + "/relmax_integration.graph";
+  ASSERT_TRUE(WriteEdgeList(dataset->graph, path).ok());
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok());
+
+  auto queries = GenerateQueries(dataset->graph, 1,
+                                 {.min_hops = 3, .max_hops = 5, .seed = 2});
+  ASSERT_TRUE(queries.ok());
+  const auto [s, t] = (*queries)[0];
+  auto original = MaximizeReliability(dataset->graph, s, t,
+                                      PipelineOptions());
+  auto reloaded = MaximizeReliability(*loaded, s, t, PipelineOptions());
+  ASSERT_TRUE(original.ok() && reloaded.ok());
+  // Serialization canonicalizes arc order, so the sampler consumes
+  // randomness differently and may pick a different — equally valid — edge
+  // set. What must hold: both solutions are feasible and both improve the
+  // query's reliability on the same underlying graph.
+  EXPECT_LE(reloaded->added_edges.size(), 5u);
+  const double before = EstimateReliability(
+      dataset->graph, s, t, {.num_samples = 5000, .seed = 3});
+  auto measure = [&](const std::vector<Edge>& edges) {
+    return EstimateReliability(AugmentGraph(dataset->graph, edges), s, t,
+                               {.num_samples = 5000, .seed = 3});
+  };
+  EXPECT_GE(measure(original->added_edges) + 0.02, before);
+  EXPECT_GE(measure(reloaded->added_edges) + 0.02, before);
+  for (const Edge& e : reloaded->added_edges) {
+    EXPECT_FALSE(loaded->HasEdge(e.src, e.dst));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(IntegrationTest, MultiAverageConsistentWithSinglePairUnion) {
+  auto dataset = MakeDataset("smallworld1", 0.03, 17);
+  ASSERT_TRUE(dataset.ok());
+  auto query = GenerateMultiQuery(dataset->graph, 3, {.seed = 21});
+  ASSERT_TRUE(query.ok());
+  auto solution = MaximizeMultiReliability(dataset->graph, query->sources,
+                                           query->targets,
+                                           Aggregate::kAverage,
+                                           PipelineOptions());
+  ASSERT_TRUE(solution.ok());
+  const auto before = PairwiseReliability(dataset->graph, query->sources,
+                                          query->targets, 3000, 5);
+  const auto after = PairwiseReliability(
+      AugmentGraph(dataset->graph, solution->added_edges), query->sources,
+      query->targets, 3000, 5);
+  EXPECT_GE(AggregateMatrix(after, Aggregate::kAverage) + 0.02,
+            AggregateMatrix(before, Aggregate::kAverage));
+}
+
+}  // namespace
+}  // namespace relmax

@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+#include "paths/layered_mrp.h"
+#include "paths/most_reliable_path.h"
+
+namespace relmax {
+namespace {
+
+// Oracle: best achievable MRP probability over all candidate subsets of size
+// <= k (exponential; test graphs are tiny).
+double BruteForceBestMrp(const UncertainGraph& g, NodeId s, NodeId t, int k,
+                         const std::vector<Edge>& candidates) {
+  const int m = static_cast<int>(candidates.size());
+  double best = 0.0;
+  for (uint32_t mask = 0; mask < (1u << m); ++mask) {
+    if (__builtin_popcount(mask) > k) continue;
+    UncertainGraph aug = g;
+    bool valid = true;
+    for (int i = 0; i < m; ++i) {
+      if ((mask >> i) & 1) {
+        if (!aug.AddEdge(candidates[i].src, candidates[i].dst,
+                         candidates[i].prob)
+                 .ok()) {
+          valid = false;
+          break;
+        }
+      }
+    }
+    if (!valid) continue;
+    const auto path = MostReliablePath(aug, s, t);
+    if (path.has_value()) best = std::max(best, path->probability);
+  }
+  return best;
+}
+
+TEST(LayeredMrpTest, NoCandidatesReturnsBasePath) {
+  UncertainGraph g = UncertainGraph::Directed(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.8).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.5).ok());
+  const auto result = ImproveMostReliablePathWithCandidates(g, 0, 2, 3, {});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->improved);
+  EXPECT_TRUE(result->added_edges.empty());
+  EXPECT_NEAR(result->base_probability, 0.4, 1e-12);
+  EXPECT_NEAR(result->best_path.probability, 0.4, 1e-12);
+  EXPECT_EQ(result->best_path.nodes, (std::vector<NodeId>{0, 1, 2}));
+}
+
+TEST(LayeredMrpTest, DirectEdgeWinsWhenStrong) {
+  UncertainGraph g = UncertainGraph::Directed(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.5).ok());
+  const std::vector<Edge> candidates = {{0, 2, 0.9}};
+  const auto result =
+      ImproveMostReliablePathWithCandidates(g, 0, 2, 1, candidates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->improved);
+  ASSERT_EQ(result->added_edges.size(), 1u);
+  EXPECT_EQ(result->added_edges[0].src, 0u);
+  EXPECT_EQ(result->added_edges[0].dst, 2u);
+  EXPECT_NEAR(result->best_path.probability, 0.9, 1e-12);
+  EXPECT_NEAR(result->base_probability, 0.25, 1e-12);
+}
+
+TEST(LayeredMrpTest, WeakCandidateDoesNotImprove) {
+  UncertainGraph g = UncertainGraph::Directed(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.9).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.9).ok());
+  const std::vector<Edge> candidates = {{0, 2, 0.2}};
+  const auto result =
+      ImproveMostReliablePathWithCandidates(g, 0, 2, 1, candidates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->improved);
+  EXPECT_TRUE(result->added_edges.empty());
+  EXPECT_NEAR(result->best_path.probability, 0.81, 1e-12);
+}
+
+TEST(LayeredMrpTest, BudgetCapsRedEdges) {
+  // Disconnected chain 0 .. 3 needing two red hops 0->1->2 plus blue 2->3.
+  UncertainGraph g = UncertainGraph::Directed(4);
+  ASSERT_TRUE(g.AddEdge(2, 3, 0.8).ok());
+  const std::vector<Edge> candidates = {{0, 1, 0.9}, {1, 2, 0.9}};
+  const auto k1 = ImproveMostReliablePathWithCandidates(g, 0, 3, 1, candidates);
+  ASSERT_TRUE(k1.ok());
+  EXPECT_FALSE(k1->improved);  // one red edge cannot connect 0 to 3
+  EXPECT_DOUBLE_EQ(k1->best_path.probability, 0.0);
+
+  const auto k2 = ImproveMostReliablePathWithCandidates(g, 0, 3, 2, candidates);
+  ASSERT_TRUE(k2.ok());
+  EXPECT_TRUE(k2->improved);
+  EXPECT_EQ(k2->added_edges.size(), 2u);
+  EXPECT_NEAR(k2->best_path.probability, 0.9 * 0.9 * 0.8, 1e-12);
+  EXPECT_EQ(k2->best_path.nodes, (std::vector<NodeId>{0, 1, 2, 3}));
+}
+
+TEST(LayeredMrpTest, PaperFigure3MrpSolutions) {
+  // Figure 3 (undirected): edges AB, At with prob alpha = 0.5; candidates
+  // sA, sB, Bt with zeta = 0.7.
+  UncertainGraph g = UncertainGraph::Undirected(4);
+  const NodeId s = 0, a = 1, b = 2, t = 3;
+  ASSERT_TRUE(g.AddEdge(a, b, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(a, t, 0.5).ok());
+  const std::vector<Edge> candidates = {{s, a, 0.7}, {s, b, 0.7}, {b, t, 0.7}};
+
+  // k = 1: only {sA} yields a path (s-A-t, prob 0.35).
+  const auto k1 = ImproveMostReliablePathWithCandidates(g, s, t, 1, candidates);
+  ASSERT_TRUE(k1.ok());
+  ASSERT_EQ(k1->added_edges.size(), 1u);
+  EXPECT_EQ(k1->added_edges[0].dst, a);
+  EXPECT_NEAR(k1->best_path.probability, 0.35, 1e-12);
+
+  // k = 2: {sB, Bt} gives path s-B-t with prob 0.49 > 0.35.
+  const auto k2 = ImproveMostReliablePathWithCandidates(g, s, t, 2, candidates);
+  ASSERT_TRUE(k2.ok());
+  ASSERT_EQ(k2->added_edges.size(), 2u);
+  EXPECT_NEAR(k2->best_path.probability, 0.49, 1e-12);
+  EXPECT_EQ(k2->best_path.nodes, (std::vector<NodeId>{s, b, t}));
+}
+
+TEST(LayeredMrpTest, UndirectedCandidatesUsableBothWays) {
+  UncertainGraph g = UncertainGraph::Undirected(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.6).ok());
+  // Candidate written as (2, 1) but needed in direction 1 -> 2.
+  const std::vector<Edge> candidates = {{2, 1, 0.5}};
+  const auto result =
+      ImproveMostReliablePathWithCandidates(g, 0, 2, 1, candidates);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->improved);
+  EXPECT_NEAR(result->best_path.probability, 0.3, 1e-12);
+}
+
+TEST(LayeredMrpTest, DirectedCandidatesRespectDirection) {
+  UncertainGraph g = UncertainGraph::Directed(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.6).ok());
+  const std::vector<Edge> wrong_way = {{2, 1, 0.5}};
+  const auto result =
+      ImproveMostReliablePathWithCandidates(g, 0, 2, 1, wrong_way);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->improved);
+  EXPECT_DOUBLE_EQ(result->best_path.probability, 0.0);
+}
+
+TEST(LayeredMrpTest, ValidatesInput) {
+  UncertainGraph g = UncertainGraph::Directed(3);
+  EXPECT_EQ(ImproveMostReliablePathWithCandidates(g, 0, 9, 1, {})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ImproveMostReliablePathWithCandidates(g, 0, 1, -1, {})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ImproveMostReliablePathWithCandidates(g, 0, 1, 1, {{0, 9, 0.5}})
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(ImproveMostReliablePathWithCandidates(g, 0, 1, 1, {{1, 1, 0.5}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(ImproveMostReliablePathWithCandidates(g, 0, 1, 1, {{0, 2, 1.5}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// Exactness against exhaustive subset enumeration (Theorem 3): the layered
+// Dijkstra must find the optimal subset, not just a good one.
+class LayeredMrpOracleSweep : public testing::TestWithParam<int> {};
+
+TEST_P(LayeredMrpOracleSweep, MatchesSubsetEnumeration) {
+  Rng rng(4000 + GetParam());
+  const NodeId n = static_cast<NodeId>(rng.NextInt(4, 7));
+  UncertainGraph g = GetParam() % 2 == 0 ? UncertainGraph::Directed(n)
+                                         : UncertainGraph::Undirected(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (rng.NextBernoulli(0.3)) {
+        ASSERT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.1, 0.9)).ok());
+      }
+    }
+  }
+  // Candidate pool: up to 6 random missing edges.
+  std::vector<Edge> candidates;
+  for (NodeId u = 0; u < n && candidates.size() < 6; ++u) {
+    for (NodeId v = 0; v < n && candidates.size() < 6; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      bool duplicate = false;
+      for (const Edge& e : candidates) {
+        if ((e.src == u && e.dst == v) ||
+            (!g.directed() && e.src == v && e.dst == u)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate && rng.NextBernoulli(0.5)) {
+        candidates.push_back({u, v, rng.NextDouble(0.2, 0.9)});
+      }
+    }
+  }
+  const NodeId s = 0;
+  const NodeId t = n - 1;
+  for (int k = 0; k <= 3; ++k) {
+    const double oracle = BruteForceBestMrp(g, s, t, k, candidates);
+    const auto result =
+        ImproveMostReliablePathWithCandidates(g, s, t, k, candidates);
+    ASSERT_TRUE(result.ok());
+    EXPECT_NEAR(result->best_path.probability, oracle, 1e-10)
+        << "k=" << k << " n=" << n << " cands=" << candidates.size();
+    EXPECT_LE(result->added_edges.size(), static_cast<size_t>(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LayeredMrpOracleSweep, testing::Range(0, 10));
+
+}  // namespace
+}  // namespace relmax

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/exact_reliability.h"
+#include "graph/uncertain_graph.h"
+#include "sampling/lazy_propagation.h"
+#include "sampling/reliability.h"
+
+namespace relmax {
+namespace {
+
+TEST(LazyPropagationTest, MatchesExactOnDiamond) {
+  UncertainGraph g = UncertainGraph::Directed(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(2, 3, 0.5).ok());
+  const double exact = ExactReliabilityFactoring(g, 0, 3).value();
+  EXPECT_NEAR(EstimateReliabilityLazy(g, 0, 3, 60000, 7), exact, 0.01);
+}
+
+TEST(LazyPropagationTest, DegenerateProbabilities) {
+  UncertainGraph g = UncertainGraph::Directed(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, 1.0).ok());
+  EXPECT_DOUBLE_EQ(EstimateReliabilityLazy(g, 0, 1, 200, 1), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateReliabilityLazy(g, 0, 2, 200, 1), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateReliabilityLazy(g, 0, 3, 200, 1), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateReliabilityLazy(g, 2, 2, 10, 1), 1.0);
+}
+
+TEST(LazyPropagationTest, UndirectedSingleCoinPerWorld) {
+  UncertainGraph g = UncertainGraph::Undirected(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.3).ok());
+  EXPECT_NEAR(EstimateReliabilityLazy(g, 0, 1, 60000, 3), 0.3, 0.01);
+}
+
+TEST(LazyPropagationTest, AgreesWithPlainMonteCarloOnLowProbGraph) {
+  // DBLP-like regime: many low-probability edges — LP's home turf.
+  Rng rng(11);
+  UncertainGraph g = UncertainGraph::Undirected(40);
+  for (int i = 0; i < 150; ++i) {
+    const NodeId u = static_cast<NodeId>(rng.NextUint64(40));
+    const NodeId v = static_cast<NodeId>(rng.NextUint64(40));
+    if (u == v || g.HasEdge(u, v)) continue;
+    ASSERT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.02, 0.2)).ok());
+  }
+  const double mc =
+      EstimateReliability(g, 0, 39, {.num_samples = 60000, .seed = 5});
+  const double lazy = EstimateReliabilityLazy(g, 0, 39, 60000, 6);
+  EXPECT_NEAR(lazy, mc, 0.01);
+}
+
+TEST(LazyPropagationTest, FromSourceMatchesExactPerNode) {
+  UncertainGraph g = UncertainGraph::Directed(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.6).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.4).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.2).ok());
+  LazyPropagationSampler sampler(g, 9);
+  const std::vector<double> from_s = sampler.FromSource(0, 60000);
+  EXPECT_DOUBLE_EQ(from_s[0], 1.0);
+  for (NodeId v = 1; v < 3; ++v) {
+    EXPECT_NEAR(from_s[v], ExactReliabilityFactoring(g, 0, v).value(), 0.01)
+        << "node " << v;
+  }
+  EXPECT_DOUBLE_EQ(from_s[3], 0.0);
+}
+
+TEST(LazyPropagationTest, DeterministicForSeed) {
+  UncertainGraph g = UncertainGraph::Undirected(6);
+  for (NodeId i = 0; i + 1 < 6; ++i) ASSERT_TRUE(g.AddEdge(i, i + 1, 0.4).ok());
+  EXPECT_DOUBLE_EQ(EstimateReliabilityLazy(g, 0, 5, 500, 17),
+                   EstimateReliabilityLazy(g, 0, 5, 500, 17));
+}
+
+// Unbiasedness sweep across random graphs, as for MC and RSS.
+class LazyUnbiasednessSweep : public testing::TestWithParam<int> {};
+
+TEST_P(LazyUnbiasednessSweep, RandomGraph) {
+  Rng rng(3000 + GetParam());
+  const NodeId n = 6;
+  UncertainGraph g = GetParam() % 2 == 0 ? UncertainGraph::Directed(n)
+                                         : UncertainGraph::Undirected(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (rng.NextBernoulli(0.4)) {
+        ASSERT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.05, 0.95)).ok());
+      }
+    }
+  }
+  const double exact = ExactReliabilityFactoring(g, 0, n - 1, 40).value();
+  EXPECT_NEAR(EstimateReliabilityLazy(g, 0, n - 1, 40000, rng.Next()), exact,
+              0.012);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LazyUnbiasednessSweep, testing::Range(0, 6));
+
+}  // namespace
+}  // namespace relmax

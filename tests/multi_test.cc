@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/evaluate.h"
+#include "core/multi.h"
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+namespace {
+
+// Three loose communities; sources live in the first, targets in the last.
+UncertainGraph Communities(uint64_t seed = 5) {
+  Rng rng(seed);
+  UncertainGraph g = UncertainGraph::Undirected(15);
+  auto wire = [&](NodeId lo, NodeId hi) {
+    for (NodeId u = lo; u < hi; ++u) {
+      for (NodeId v = u + 1; v <= hi; ++v) {
+        if (rng.NextBernoulli(0.7)) {
+          (void)g.AddEdge(u, v, rng.NextDouble(0.4, 0.8));
+        }
+      }
+    }
+  };
+  wire(0, 4);
+  wire(5, 9);
+  wire(10, 14);
+  EXPECT_TRUE(g.AddEdge(4, 5, 0.2).ok());
+  EXPECT_TRUE(g.AddEdge(9, 10, 0.2).ok());
+  return g;
+}
+
+SolverOptions FastOptions(int k = 4) {
+  SolverOptions options;
+  options.budget_k = k;
+  options.zeta = 0.5;
+  options.top_r = 15;
+  options.top_l = 10;
+  options.hop_h = -1;
+  options.elimination_samples = 300;
+  options.num_samples = 300;
+  options.seed = 33;
+  return options;
+}
+
+const std::vector<NodeId> kSources = {0, 1, 2};
+const std::vector<NodeId> kTargets = {12, 13, 14};
+
+class MultiAggregateSweep : public testing::TestWithParam<Aggregate> {};
+
+TEST_P(MultiAggregateSweep, ImprovesAggregateWithinBudget) {
+  const UncertainGraph g = Communities();
+  const Aggregate agg = GetParam();
+  auto solution =
+      MaximizeMultiReliability(g, kSources, kTargets, agg, FastOptions());
+  ASSERT_TRUE(solution.ok()) << AggregateName(agg);
+  EXPECT_LE(solution->added_edges.size(), 4u);
+  EXPECT_FALSE(solution->added_edges.empty()) << AggregateName(agg);
+  EXPECT_GT(solution->gain(), 0.02) << AggregateName(agg);
+  for (const Edge& e : solution->added_edges) {
+    EXPECT_FALSE(g.HasEdge(e.src, e.dst));
+  }
+  // Reported aggregates are consistent with an independent re-estimate.
+  const auto after_matrix = PairwiseReliability(
+      AugmentGraph(g, solution->added_edges), kSources, kTargets, 2000, 99);
+  EXPECT_NEAR(solution->aggregate_after, AggregateMatrix(after_matrix, agg),
+              0.08)
+      << AggregateName(agg);
+}
+
+INSTANTIATE_TEST_SUITE_P(Aggregates, MultiAggregateSweep,
+                         testing::Values(Aggregate::kAverage,
+                                         Aggregate::kMinimum,
+                                         Aggregate::kMaximum),
+                         [](const auto& info) {
+                           return AggregateName(info.param);
+                         });
+
+TEST(MultiTest, MinimumRaisesTheWorstPair) {
+  const UncertainGraph g = Communities();
+  auto solution = MaximizeMultiReliability(g, kSources, kTargets,
+                                           Aggregate::kMinimum, FastOptions());
+  ASSERT_TRUE(solution.ok());
+  const auto before = PairwiseReliability(g, kSources, kTargets, 2000, 7);
+  const auto after = PairwiseReliability(
+      AugmentGraph(g, solution->added_edges), kSources, kTargets, 2000, 7);
+  EXPECT_GT(AggregateMatrix(after, Aggregate::kMinimum),
+            AggregateMatrix(before, Aggregate::kMinimum));
+}
+
+TEST(MultiTest, BatchBudgetK1IsRespected) {
+  const UncertainGraph g = Communities();
+  // k1 = 1 forces one edge per refinement round; total budget still k.
+  auto solution =
+      MaximizeMultiReliability(g, kSources, kTargets, Aggregate::kMinimum,
+                               FastOptions(3), /*batch_k1=*/1);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_LE(solution->added_edges.size(), 3u);
+  EXPECT_GT(solution->gain(), 0.0);
+}
+
+TEST(MultiTest, SingletonSetsMatchSinglePairBehavior) {
+  const UncertainGraph g = Communities();
+  auto solution = MaximizeMultiReliability(g, {0}, {14}, Aggregate::kAverage,
+                                           FastOptions());
+  ASSERT_TRUE(solution.ok());
+  EXPECT_GT(solution->gain(), 0.05);
+}
+
+TEST(MultiTest, ValidatesArguments) {
+  const UncertainGraph g = Communities();
+  EXPECT_EQ(MaximizeMultiReliability(g, {}, kTargets, Aggregate::kAverage,
+                                     FastOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(MaximizeMultiReliability(g, {0}, {0, 14}, Aggregate::kMaximum,
+                                     FastOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);  // overlap
+  EXPECT_EQ(MaximizeMultiReliability(g, {0}, {99}, Aggregate::kAverage,
+                                     FastOptions())
+                .status()
+                .code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(MultiTest, PairwiseReliabilityMatrixShape) {
+  const UncertainGraph g = Communities();
+  const auto matrix = PairwiseReliability(g, kSources, kTargets, 500, 13);
+  ASSERT_EQ(matrix.size(), kSources.size());
+  for (const auto& row : matrix) {
+    ASSERT_EQ(row.size(), kTargets.size());
+    for (double r : row) {
+      EXPECT_GE(r, 0.0);
+      EXPECT_LE(r, 1.0);
+    }
+  }
+  // Within-community pairs are far more reliable than cross-community ones.
+  const auto same = PairwiseReliability(g, {0}, {3}, 500, 13);
+  EXPECT_GT(same[0][0], matrix[0][0]);
+}
+
+TEST(MultiTest, AggregateMatrixFunctions) {
+  const std::vector<std::vector<double>> m = {{0.2, 0.8}, {0.4, 0.6}};
+  EXPECT_DOUBLE_EQ(AggregateMatrix(m, Aggregate::kAverage), 0.5);
+  EXPECT_DOUBLE_EQ(AggregateMatrix(m, Aggregate::kMinimum), 0.2);
+  EXPECT_DOUBLE_EQ(AggregateMatrix(m, Aggregate::kMaximum), 0.8);
+}
+
+}  // namespace
+}  // namespace relmax

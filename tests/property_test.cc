@@ -1,0 +1,197 @@
+// Property-based sweeps over randomly generated graphs: invariants every
+// estimator and solver component must satisfy regardless of topology.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/candidates.h"
+#include "core/evaluate.h"
+#include "graph/exact_reliability.h"
+#include "graph/uncertain_graph.h"
+#include "paths/most_reliable_path.h"
+#include "paths/yen.h"
+#include "sampling/reliability.h"
+#include "sampling/rss.h"
+
+namespace relmax {
+namespace {
+
+UncertainGraph RandomGraph(uint64_t seed, NodeId n, double density,
+                           bool directed) {
+  Rng rng(seed);
+  UncertainGraph g =
+      directed ? UncertainGraph::Directed(n) : UncertainGraph::Undirected(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (rng.NextBernoulli(density)) {
+        EXPECT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.05, 0.95)).ok());
+      }
+    }
+  }
+  return g;
+}
+
+class ReliabilityInvariantSweep : public testing::TestWithParam<int> {};
+
+// R is sandwiched between the most reliable path's probability (one way to
+// connect) and 1; and the union bound over the top paths dominates both.
+TEST_P(ReliabilityInvariantSweep, PathProbabilityBounds) {
+  const UncertainGraph g =
+      RandomGraph(100 + GetParam(), 7, 0.35, GetParam() % 2 == 0);
+  const NodeId s = 0;
+  const NodeId t = 6;
+  const double exact = ExactReliabilityFactoring(g, s, t, 50).value();
+  const auto mrp = MostReliablePath(g, s, t);
+  if (!mrp.has_value()) {
+    EXPECT_DOUBLE_EQ(exact, 0.0);
+    return;
+  }
+  // Lower bound: any single path's existence implies connection.
+  EXPECT_GE(exact + 1e-12, mrp->probability);
+  // Upper bound: union bound over all simple paths.
+  double union_bound = 0.0;
+  for (const PathResult& p : TopLReliablePaths(g, s, t, 1000)) {
+    union_bound += p.probability;
+  }
+  EXPECT_LE(exact, std::min(1.0, union_bound) + 1e-12);
+}
+
+// Raising any edge probability cannot decrease reliability.
+TEST_P(ReliabilityInvariantSweep, MonotoneInEdgeProbability) {
+  UncertainGraph g = RandomGraph(200 + GetParam(), 6, 0.4, true);
+  if (g.num_edges() == 0) return;
+  const double base = ExactReliabilityFactoring(g, 0, 5, 50).value();
+  Rng rng(300 + GetParam());
+  const auto edges = g.Edges();
+  const Edge& edge = edges[rng.NextUint64(edges.size())];
+  const double bumped = std::min(1.0, edge.prob + 0.3);
+  ASSERT_TRUE(g.UpdateEdgeProb(edge.src, edge.dst, bumped).ok());
+  EXPECT_GE(ExactReliabilityFactoring(g, 0, 5, 50).value() + 1e-12, base);
+}
+
+// Adding any edge cannot decrease reliability.
+TEST_P(ReliabilityInvariantSweep, MonotoneInEdgeAddition) {
+  const UncertainGraph g =
+      RandomGraph(400 + GetParam(), 6, 0.3, GetParam() % 2 == 1);
+  const double base = ExactReliabilityFactoring(g, 0, 5, 50).value();
+  for (const Edge& e : AllMissingEdges(g, 0.5, -1)) {
+    UncertainGraph aug = g;
+    ASSERT_TRUE(aug.AddEdge(e.src, e.dst, 0.5).ok());
+    EXPECT_GE(ExactReliabilityFactoring(aug, 0, 5, 50).value() + 1e-12, base)
+        << "(" << e.src << "," << e.dst << ")";
+    break;  // one edge per seed keeps the sweep fast
+  }
+}
+
+// MC and RSS agree with the exact value within sampling error.
+TEST_P(ReliabilityInvariantSweep, EstimatorsAgreeWithExact) {
+  const UncertainGraph g =
+      RandomGraph(500 + GetParam(), 6, 0.4, GetParam() % 2 == 0);
+  const double exact = ExactReliabilityFactoring(g, 0, 5, 50).value();
+  const double mc =
+      EstimateReliability(g, 0, 5, {.num_samples = 30000, .seed = 1});
+  EXPECT_NEAR(mc, exact, 0.015);
+  double rss_mean = 0.0;
+  Rng seeds(600 + GetParam());
+  for (int run = 0; run < 20; ++run) {
+    rss_mean += EstimateReliabilityRss(
+        g, 0, 5, {.num_samples = 400, .seed = seeds.Next()});
+  }
+  EXPECT_NEAR(rss_mean / 20, exact, 0.03);
+}
+
+// InfluenceSpread specializes to reliability when |S| = |T| = 1, and the
+// pairwise matrix agrees with single-pair estimation.
+TEST_P(ReliabilityInvariantSweep, SpreadAndPairwiseConsistency) {
+  const UncertainGraph g = RandomGraph(700 + GetParam(), 7, 0.35, true);
+  const double exact = ExactReliabilityFactoring(g, 0, 6, 50).value();
+  EXPECT_NEAR(InfluenceSpread(g, {0}, {6}, 30000, 9), exact, 0.015);
+  const auto matrix = PairwiseReliability(g, {0}, {6}, 30000, 9);
+  EXPECT_NEAR(matrix[0][0], exact, 0.015);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReliabilityInvariantSweep,
+                         testing::Range(0, 10));
+
+// ------------------------------------------------------- failure injection
+
+TEST(FailureInjectionTest, AllZeroProbabilityGraph) {
+  UncertainGraph g = UncertainGraph::Directed(4);
+  for (NodeId i = 0; i + 1 < 4; ++i) ASSERT_TRUE(g.AddEdge(i, i + 1, 0.0).ok());
+  EXPECT_DOUBLE_EQ(
+      EstimateReliability(g, 0, 3, {.num_samples = 100, .seed = 1}), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateReliabilityRss(g, 0, 3), 0.0);
+  EXPECT_FALSE(MostReliablePath(g, 0, 3).has_value());
+  EXPECT_DOUBLE_EQ(ExactReliabilityFactoring(g, 0, 3).value(), 0.0);
+}
+
+TEST(FailureInjectionTest, AllOneProbabilityGraph) {
+  UncertainGraph g = UncertainGraph::Undirected(5);
+  for (NodeId i = 0; i + 1 < 5; ++i) ASSERT_TRUE(g.AddEdge(i, i + 1, 1.0).ok());
+  EXPECT_DOUBLE_EQ(
+      EstimateReliability(g, 0, 4, {.num_samples = 100, .seed = 1}), 1.0);
+  EXPECT_DOUBLE_EQ(EstimateReliabilityRss(g, 0, 4), 1.0);
+  EXPECT_DOUBLE_EQ(MostReliablePath(g, 0, 4)->probability, 1.0);
+}
+
+TEST(FailureInjectionTest, SingletonAndEdgelessGraphs) {
+  UncertainGraph lonely = UncertainGraph::Directed(1);
+  EXPECT_DOUBLE_EQ(
+      EstimateReliability(lonely, 0, 0, {.num_samples = 10, .seed = 1}), 1.0);
+
+  UncertainGraph empty = UncertainGraph::Undirected(10);
+  EXPECT_DOUBLE_EQ(
+      EstimateReliability(empty, 0, 9, {.num_samples = 100, .seed = 1}), 0.0);
+  EXPECT_TRUE(TopLReliablePaths(empty, 0, 9, 5).empty());
+}
+
+TEST(FailureInjectionTest, EliminationOnDisconnectedQuery) {
+  // s and t in different components: the candidate set must still form
+  // (C(s) x C(t)) so the solver can bridge the components.
+  UncertainGraph g = UncertainGraph::Undirected(6);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.9).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.9).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4, 0.9).ok());
+  ASSERT_TRUE(g.AddEdge(4, 5, 0.9).ok());
+  SolverOptions options;
+  options.hop_h = -1;
+  options.top_r = 6;
+  auto candidates = SelectCandidates(g, 0, 5, options);
+  ASSERT_TRUE(candidates.ok());
+  EXPECT_FALSE(candidates->edges.empty());
+  // With the h-hop constraint the components cannot be bridged: no
+  // candidates should survive (distance between components is infinite).
+  options.hop_h = 3;
+  auto constrained = SelectCandidates(g, 0, 5, options);
+  ASSERT_TRUE(constrained.ok());
+  for (const Edge& e : constrained->edges) {
+    // Any surviving candidate must stay within one component.
+    const bool src_left = e.src <= 2;
+    const bool dst_left = e.dst <= 2;
+    EXPECT_EQ(src_left, dst_left);
+  }
+}
+
+TEST(FailureInjectionTest, ExtremeProbabilitiesInRss) {
+  // Mix of 0, 1, and mid probabilities must not break stratification.
+  UncertainGraph g = UncertainGraph::Directed(5);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 4, 0.9).ok());
+  const double exact = ExactReliabilityFactoring(g, 0, 4).value();
+  EXPECT_NEAR(exact, 0.5, 1e-12);
+  double mean = 0.0;
+  Rng seeds(4);
+  for (int run = 0; run < 30; ++run) {
+    mean += EstimateReliabilityRss(g, 0, 4,
+                                   {.num_samples = 200, .seed = seeds.Next()});
+  }
+  EXPECT_NEAR(mean / 30, exact, 0.03);
+}
+
+}  // namespace
+}  // namespace relmax

@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/exact_reliability.h"
+#include "graph/uncertain_graph.h"
+#include "sampling/reliability.h"
+#include "sampling/rss.h"
+
+namespace relmax {
+namespace {
+
+UncertainGraph LadderGraph(int rungs, double p) {
+  // Two parallel rails 0->2->4->... and 1->3->5->... with rung cross-links;
+  // enough structure that stratification actually partitions the space.
+  const NodeId n = static_cast<NodeId>(2 * rungs);
+  UncertainGraph g = UncertainGraph::Directed(n);
+  for (int i = 0; i + 1 < rungs; ++i) {
+    EXPECT_TRUE(g.AddEdge(2 * i, 2 * (i + 1), p).ok());
+    EXPECT_TRUE(g.AddEdge(2 * i + 1, 2 * (i + 1) + 1, p).ok());
+  }
+  for (int i = 0; i < rungs; ++i) {
+    EXPECT_TRUE(g.AddEdge(2 * i, 2 * i + 1, p).ok());
+  }
+  return g;
+}
+
+TEST(RssTest, MatchesExactOnLadder) {
+  const UncertainGraph g = LadderGraph(4, 0.6);
+  const double exact = ExactReliabilityFactoring(g, 0, 7).value();
+  double sum = 0.0;
+  const int kRuns = 40;
+  Rng seeds(123);
+  for (int run = 0; run < kRuns; ++run) {
+    sum += EstimateReliabilityRss(
+        g, 0, 7, {.num_samples = 400, .seed = seeds.Next()});
+  }
+  EXPECT_NEAR(sum / kRuns, exact, 0.01);
+}
+
+TEST(RssTest, MatchesExactOnUndirectedTriangle) {
+  UncertainGraph g = UncertainGraph::Undirected(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.5).ok());
+  const double exact = ExactReliabilityFactoring(g, 0, 2).value();
+  double sum = 0.0;
+  const int kRuns = 40;
+  Rng seeds(77);
+  for (int run = 0; run < kRuns; ++run) {
+    sum += EstimateReliabilityRss(
+        g, 0, 2, {.num_samples = 300, .seed = seeds.Next()});
+  }
+  EXPECT_NEAR(sum / kRuns, exact, 0.012);
+}
+
+TEST(RssTest, DegenerateCases) {
+  UncertainGraph g = UncertainGraph::Directed(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  EXPECT_DOUBLE_EQ(EstimateReliabilityRss(g, 0, 0), 1.0);  // s == t
+  EXPECT_DOUBLE_EQ(EstimateReliabilityRss(g, 0, 1), 1.0);  // certain edge
+  EXPECT_DOUBLE_EQ(EstimateReliabilityRss(g, 0, 2), 0.0);  // disconnected
+  EXPECT_DOUBLE_EQ(EstimateReliabilityRss(g, 1, 0), 0.0);  // wrong direction
+}
+
+TEST(RssTest, DeterministicForFixedSeed) {
+  const UncertainGraph g = LadderGraph(4, 0.4);
+  const RssOptions opts{.num_samples = 200, .seed = 5};
+  EXPECT_DOUBLE_EQ(EstimateReliabilityRss(g, 0, 7, opts),
+                   EstimateReliabilityRss(g, 0, 7, opts));
+}
+
+// The headline property from the paper's §5.3: at equal sample budget, RSS
+// has lower estimator variance than plain MC.
+TEST(RssTest, LowerVarianceThanMonteCarloAtEqualBudget) {
+  const UncertainGraph g = LadderGraph(5, 0.5);
+  const NodeId s = 0;
+  const NodeId t = 9;
+  const int kBudget = 150;
+  const int kRuns = 120;
+  Rng seeds(2025);
+
+  double mc_sum = 0.0;
+  double mc_sq = 0.0;
+  double rss_sum = 0.0;
+  double rss_sq = 0.0;
+  for (int run = 0; run < kRuns; ++run) {
+    const uint64_t seed = seeds.Next();
+    const double mc =
+        EstimateReliability(g, s, t, {.num_samples = kBudget, .seed = seed});
+    const double rss = EstimateReliabilityRss(
+        g, s, t, {.num_samples = kBudget, .seed = seed});
+    mc_sum += mc;
+    mc_sq += mc * mc;
+    rss_sum += rss;
+    rss_sq += rss * rss;
+  }
+  const double mc_var = mc_sq / kRuns - (mc_sum / kRuns) * (mc_sum / kRuns);
+  const double rss_var =
+      rss_sq / kRuns - (rss_sum / kRuns) * (rss_sum / kRuns);
+  EXPECT_LT(rss_var, mc_var);
+  // Both estimate the same quantity.
+  EXPECT_NEAR(mc_sum / kRuns, rss_sum / kRuns, 0.03);
+}
+
+TEST(RssTest, FromSourceMatchesExactPerNode) {
+  const UncertainGraph g = LadderGraph(3, 0.5);
+  const int kRuns = 60;
+  Rng seeds(31);
+  std::vector<double> acc(g.num_nodes(), 0.0);
+  for (int run = 0; run < kRuns; ++run) {
+    RssSampler sampler(g, {.num_samples = 300, .seed = seeds.Next()});
+    const std::vector<double> from_s = sampler.FromSource(0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) acc[v] += from_s[v];
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double exact = ExactReliabilityFactoring(g, 0, v).value();
+    EXPECT_NEAR(acc[v] / kRuns, exact, 0.015) << "node " << v;
+  }
+}
+
+TEST(RssTest, ToTargetMatchesExactPerNode) {
+  const UncertainGraph g = LadderGraph(3, 0.5);
+  const NodeId t = 5;
+  const int kRuns = 60;
+  Rng seeds(37);
+  std::vector<double> acc(g.num_nodes(), 0.0);
+  for (int run = 0; run < kRuns; ++run) {
+    RssSampler sampler(g, {.num_samples = 300, .seed = seeds.Next()});
+    const std::vector<double> to_t = sampler.ToTarget(t);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) acc[v] += to_t[v];
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const double exact = ExactReliabilityFactoring(g, v, t).value();
+    EXPECT_NEAR(acc[v] / kRuns, exact, 0.015) << "node " << v;
+  }
+}
+
+// Unbiasedness sweep over random small graphs: averaged RSS estimates track
+// the exact reliability within Monte Carlo error.
+class RssUnbiasednessSweep : public testing::TestWithParam<int> {};
+
+TEST_P(RssUnbiasednessSweep, RandomGraph) {
+  Rng rng(1000 + GetParam());
+  const NodeId n = 6;
+  UncertainGraph g = GetParam() % 2 == 0 ? UncertainGraph::Directed(n)
+                                         : UncertainGraph::Undirected(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (rng.NextBernoulli(0.45)) {
+        ASSERT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.1, 0.9)).ok());
+      }
+    }
+  }
+  const double exact = ExactReliabilityFactoring(g, 0, n - 1, 40).value();
+  double sum = 0.0;
+  const int kRuns = 50;
+  for (int run = 0; run < kRuns; ++run) {
+    sum += EstimateReliabilityRss(g, 0, n - 1,
+                                  {.num_samples = 250, .seed = rng.Next()});
+  }
+  EXPECT_NEAR(sum / kRuns, exact, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RssUnbiasednessSweep, testing::Range(0, 8));
+
+}  // namespace
+}  // namespace relmax

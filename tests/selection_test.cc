@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "core/evaluate.h"
+#include "core/selection.h"
+#include "core/types.h"
+#include "graph/uncertain_graph.h"
+#include "paths/yen.h"
+
+namespace relmax {
+namespace {
+
+// The paper's run-through Example 3 (Figure 4c core): directed graph with
+// blue edges C->B (0.9) and C->t (0.3); candidate (red) edges sB, sC, Bt at
+// zeta = 0.5. s = 0, B = 1, C = 2, t = 3.
+struct Example3 {
+  UncertainGraph g = UncertainGraph::Directed(4);
+  UncertainGraph g_plus = UncertainGraph::Directed(0);
+  std::vector<Edge> candidates;
+  std::vector<AnnotatedPath> annotated;
+
+  static constexpr NodeId kS = 0;
+  static constexpr NodeId kB = 1;
+  static constexpr NodeId kC = 2;
+  static constexpr NodeId kT = 3;
+
+  Example3() {
+    EXPECT_TRUE(g.AddEdge(kC, kB, 0.9).ok());
+    EXPECT_TRUE(g.AddEdge(kC, kT, 0.3).ok());
+    candidates = {{kS, kB, 0.5}, {kS, kC, 0.5}, {kB, kT, 0.5}};
+    g_plus = AugmentGraph(g, candidates);
+    const std::vector<PathResult> paths =
+        TopLReliablePaths(g_plus, kS, kT, 10);
+    annotated = AnnotatePaths(g_plus, paths, candidates);
+  }
+};
+
+SolverOptions EvalOptions() {
+  SolverOptions options;
+  options.budget_k = 2;
+  options.num_samples = 4000;  // selection subgraphs are tiny, keep noise low
+  options.seed = 11;
+  return options;
+}
+
+TEST(AnnotatePathsTest, LabelsMatchCandidateEdges) {
+  Example3 ex;
+  ASSERT_EQ(ex.annotated.size(), 3u);  // sBt, sCBt, sCt
+  // Find each path by its node sequence and check its label.
+  auto label_of = [&](const std::vector<NodeId>& nodes) -> std::vector<int> {
+    for (const AnnotatedPath& p : ex.annotated) {
+      if (p.path.nodes == nodes) return p.candidate_indices;
+    }
+    ADD_FAILURE() << "path not found";
+    return {};
+  };
+  EXPECT_EQ(label_of({0, 1, 3}), (std::vector<int>{0, 2}));  // sB, Bt
+  EXPECT_EQ(label_of({0, 2, 3}), (std::vector<int>{1}));     // sC
+  EXPECT_EQ(label_of({0, 2, 1, 3}), (std::vector<int>{1, 2}));  // sC, Bt
+}
+
+TEST(BuildPathBatchesTest, GroupsByLabel) {
+  Example3 ex;
+  const std::vector<PathBatch> batches = BuildPathBatches(ex.annotated);
+  EXPECT_EQ(batches.size(), 3u);  // three distinct labels
+  size_t total_paths = 0;
+  for (const PathBatch& b : batches) total_paths += b.path_indices.size();
+  EXPECT_EQ(total_paths, ex.annotated.size());
+}
+
+TEST(BuildPathBatchesTest, SharedLabelsMerge) {
+  // Two paths with identical candidate label end up in one batch.
+  UncertainGraph g = UncertainGraph::Directed(5);
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(2, 4, 0.5).ok());
+  ASSERT_TRUE(g.AddEdge(3, 4, 0.5).ok());
+  const std::vector<Edge> candidates = {{0, 1, 0.5}};
+  const UncertainGraph g_plus = AugmentGraph(g, candidates);
+  const auto paths = TopLReliablePaths(g_plus, 0, 4, 10);
+  ASSERT_EQ(paths.size(), 2u);  // 0-1-2-4 and 0-1-3-4, both using edge (0,1)
+  const auto annotated = AnnotatePaths(g_plus, paths, candidates);
+  const auto batches = BuildPathBatches(annotated);
+  ASSERT_EQ(batches.size(), 1u);
+  EXPECT_EQ(batches[0].label, (std::vector<int>{0}));
+  EXPECT_EQ(batches[0].path_indices.size(), 2u);
+}
+
+// Example 3's punchline: individual path selection greedily takes path sBt
+// (raw gain 0.25) and ends with {sB, Bt}; batch selection recognizes that
+// {sC, Bt} activates both sCBt and sCt for a joint gain of 0.3075.
+TEST(SelectionTest, PaperExample3IndividualPicksSbBt) {
+  Example3 ex;
+  const std::vector<int> chosen = SelectEdgesByIndividualPaths(
+      ex.g_plus, Example3::kS, Example3::kT, ex.annotated, EvalOptions());
+  EXPECT_EQ(chosen, (std::vector<int>{0, 2}));  // sB, Bt
+}
+
+TEST(SelectionTest, PaperExample3BatchesPickScBt) {
+  Example3 ex;
+  const std::vector<int> chosen = SelectEdgesByPathBatches(
+      ex.g_plus, Example3::kS, Example3::kT, ex.annotated, EvalOptions());
+  EXPECT_EQ(chosen, (std::vector<int>{1, 2}));  // sC, Bt
+}
+
+TEST(SelectionTest, BatchSolutionBeatsIndividualOnExample3) {
+  Example3 ex;
+  auto reliability_with = [&](const std::vector<int>& picks) {
+    std::vector<Edge> edges;
+    for (int i : picks) edges.push_back(ex.candidates[i]);
+    return EstimateWithOptions(AugmentGraph(ex.g, edges), Example3::kS,
+                               Example3::kT, EvalOptions(), 99);
+  };
+  const double be = reliability_with(SelectEdgesByPathBatches(
+      ex.g_plus, Example3::kS, Example3::kT, ex.annotated, EvalOptions()));
+  const double ip = reliability_with(SelectEdgesByIndividualPaths(
+      ex.g_plus, Example3::kS, Example3::kT, ex.annotated, EvalOptions()));
+  EXPECT_NEAR(be, 0.3075, 0.03);
+  EXPECT_NEAR(ip, 0.25, 0.03);
+  EXPECT_GT(be, ip);
+}
+
+TEST(SelectionTest, BudgetOneSelectsSingleEdgePath) {
+  Example3 ex;
+  SolverOptions options = EvalOptions();
+  options.budget_k = 1;
+  // Only path sCt fits in budget 1; both methods must return {sC}.
+  EXPECT_EQ(SelectEdgesByIndividualPaths(ex.g_plus, Example3::kS,
+                                         Example3::kT, ex.annotated, options),
+            (std::vector<int>{1}));
+  EXPECT_EQ(SelectEdgesByPathBatches(ex.g_plus, Example3::kS, Example3::kT,
+                                     ex.annotated, options),
+            (std::vector<int>{1}));
+}
+
+TEST(SelectionTest, LargeBudgetTakesEverythingUseful) {
+  Example3 ex;
+  SolverOptions options = EvalOptions();
+  options.budget_k = 10;
+  const std::vector<int> chosen = SelectEdgesByPathBatches(
+      ex.g_plus, Example3::kS, Example3::kT, ex.annotated, options);
+  EXPECT_EQ(chosen, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(SelectionTest, NoPathsMeansNoEdges) {
+  UncertainGraph g = UncertainGraph::Directed(3);
+  const SolverOptions options = EvalOptions();
+  EXPECT_TRUE(
+      SelectEdgesByIndividualPaths(g, 0, 2, {}, options).empty());
+  EXPECT_TRUE(SelectEdgesByPathBatches(g, 0, 2, {}, options).empty());
+}
+
+TEST(SelectionTest, FreePathsDoNotConsumeBudget) {
+  // One existing path and one candidate path; free path must not count
+  // against k.
+  UncertainGraph g = UncertainGraph::Directed(4);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.6).ok());
+  ASSERT_TRUE(g.AddEdge(1, 3, 0.6).ok());
+  const std::vector<Edge> candidates = {{0, 2, 0.5}, {2, 3, 0.5}};
+  const UncertainGraph g_plus = AugmentGraph(g, candidates);
+  const auto paths = TopLReliablePaths(g_plus, 0, 3, 10);
+  const auto annotated = AnnotatePaths(g_plus, paths, candidates);
+  SolverOptions options = EvalOptions();
+  options.budget_k = 2;
+  const std::vector<int> chosen =
+      SelectEdgesByPathBatches(g_plus, 0, 3, annotated, options);
+  EXPECT_EQ(chosen, (std::vector<int>{0, 1}));  // both candidates still fit
+}
+
+}  // namespace
+}  // namespace relmax

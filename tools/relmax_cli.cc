@@ -1,0 +1,246 @@
+// relmax — command-line driver for the library.
+//
+//   relmax gen      --dataset lastfm --scale 0.1 --out graph.txt
+//   relmax stats    --graph graph.txt
+//   relmax estimate --graph graph.txt --s 3 --t 99 [--estimator rss]
+//   relmax solve    --graph graph.txt --s 3 --t 99 --k 10 --zeta 0.5
+//   relmax multi    --graph graph.txt --sources 1,2 --targets 8,9 \
+//                   --aggregate min --k 10
+//   relmax budget   --graph graph.txt --s 3 --t 99 --budget 2.0 --max-edges 5
+//
+// Every command accepts --seed and prints deterministic results.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/table.h"
+#include "common/timer.h"
+#include "core/budget_extension.h"
+#include "core/evaluate.h"
+#include "core/multi.h"
+#include "core/solver.h"
+#include "gen/datasets.h"
+#include "graph/graph_io.h"
+#include "graph/graph_stats.h"
+#include "sampling/reliability.h"
+#include "sampling/rss.h"
+
+namespace relmax {
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "relmax: %s\n", message.c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: relmax <gen|stats|estimate|solve|multi|budget> "
+               "[--flags]\n"
+               "run with a command to see its required flags\n");
+  return 2;
+}
+
+StatusOr<UncertainGraph> LoadGraph(const Flags& flags) {
+  const std::string path = flags.GetString("graph", "");
+  if (path.empty()) return Status::InvalidArgument("--graph is required");
+  return ReadEdgeList(path);
+}
+
+std::vector<NodeId> ParseNodeList(const std::string& csv) {
+  std::vector<NodeId> nodes;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    nodes.push_back(
+        static_cast<NodeId>(std::stoul(csv.substr(pos, comma - pos))));
+    pos = comma + 1;
+  }
+  return nodes;
+}
+
+SolverOptions OptionsFromFlags(const Flags& flags) {
+  SolverOptions options;
+  options.budget_k = static_cast<int>(flags.GetInt("k", 10));
+  options.zeta = flags.GetDouble("zeta", 0.5);
+  options.top_r = static_cast<int>(flags.GetInt("r", 100));
+  options.top_l = static_cast<int>(flags.GetInt("l", 30));
+  options.hop_h = static_cast<int>(flags.GetInt("h", 3));
+  options.num_samples = static_cast<int>(flags.GetInt("samples", 500));
+  options.elimination_samples =
+      static_cast<int>(flags.GetInt("elim-samples", 500));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  if (flags.GetString("estimator", "mc") == "rss") {
+    options.estimator = Estimator::kRss;
+  }
+  return options;
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string name = flags.GetString("dataset", "");
+  const std::string out = flags.GetString("out", "");
+  if (name.empty() || out.empty()) {
+    return Fail("gen requires --dataset and --out (see --dataset list)");
+  }
+  if (name == "list") {
+    for (const std::string& d : DatasetNames()) std::printf("%s\n", d.c_str());
+    return 0;
+  }
+  auto dataset = MakeDataset(name, flags.GetDouble("scale", 0.1),
+                             static_cast<uint64_t>(flags.GetInt("seed", 42)));
+  if (!dataset.ok()) return Fail(dataset.status().ToString());
+  const Status st = WriteEdgeList(dataset->graph, out);
+  if (!st.ok()) return Fail(st.ToString());
+  std::printf("wrote %s: %u nodes, %zu edges (%s)\n", out.c_str(),
+              dataset->graph.num_nodes(), dataset->graph.num_edges(),
+              dataset->graph.directed() ? "directed" : "undirected");
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const GraphStats stats = ComputeGraphStats(*graph);
+  TablePrinter table({"Stat", "Value"});
+  table.AddRow({"nodes", Fmt(stats.num_nodes)});
+  table.AddRow({"edges", Fmt(stats.num_edges)});
+  table.AddRow({"prob mean", Fmt(stats.prob_mean)});
+  table.AddRow({"prob sd", Fmt(stats.prob_sd)});
+  table.AddRow({"prob quartiles", "{" + Fmt(stats.prob_q1) + ", " +
+                                      Fmt(stats.prob_q2) + ", " +
+                                      Fmt(stats.prob_q3) + "}"});
+  table.AddRow({"avg shortest path", Fmt(stats.avg_spl, 2)});
+  table.AddRow({"longest shortest path", Fmt(stats.longest_spl)});
+  table.AddRow({"clustering coefficient",
+                Fmt(stats.clustering_coefficient, 3)});
+  table.Print();
+  return 0;
+}
+
+int CmdEstimate(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  if (!flags.Has("s") || !flags.Has("t")) return Fail("need --s and --t");
+  const NodeId s = static_cast<NodeId>(flags.GetInt("s", 0));
+  const NodeId t = static_cast<NodeId>(flags.GetInt("t", 0));
+  if (s >= graph->num_nodes() || t >= graph->num_nodes()) {
+    return Fail("query node out of range");
+  }
+  const int samples = static_cast<int>(flags.GetInt("samples", 2000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  WallTimer timer;
+  double reliability;
+  if (flags.GetString("estimator", "mc") == "rss") {
+    reliability = EstimateReliabilityRss(
+        *graph, s, t, {.num_samples = samples, .seed = seed});
+  } else {
+    reliability = EstimateReliability(
+        *graph, s, t, {.num_samples = samples, .seed = seed});
+  }
+  std::printf("R(%u, %u) = %.4f   (%d samples, %.3f s)\n", s, t, reliability,
+              samples, timer.ElapsedSeconds());
+  return 0;
+}
+
+int CmdSolve(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  if (!flags.Has("s") || !flags.Has("t")) return Fail("need --s and --t");
+  const NodeId s = static_cast<NodeId>(flags.GetInt("s", 0));
+  const NodeId t = static_cast<NodeId>(flags.GetInt("t", 0));
+  const SolverOptions options = OptionsFromFlags(flags);
+  const std::string method_name = flags.GetString("method", "be");
+  const CoreMethod method = method_name == "ip"
+                                ? CoreMethod::kIndividualPaths
+                                : method_name == "mrp"
+                                      ? CoreMethod::kMostReliablePath
+                                      : CoreMethod::kBatchEdges;
+  WallTimer timer;
+  auto solution = MaximizeReliability(*graph, s, t, options, method);
+  if (!solution.ok()) return Fail(solution.status().ToString());
+  std::printf("method %s: reliability %.4f -> %.4f (gain %.4f) in %.2f s\n",
+              CoreMethodName(method), solution->reliability_before,
+              solution->reliability_after, solution->gain(),
+              timer.ElapsedSeconds());
+  for (const Edge& e : solution->added_edges) {
+    std::printf("  add %u -> %u (p = %.3f)\n", e.src, e.dst, e.prob);
+  }
+  std::printf("candidates: %zu after elimination, %zu on top-%d paths\n",
+              solution->stats.candidate_edges,
+              solution->stats.candidate_edges_after_path_filter,
+              options.top_l);
+  return 0;
+}
+
+int CmdMulti(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const std::vector<NodeId> sources =
+      ParseNodeList(flags.GetString("sources", ""));
+  const std::vector<NodeId> targets =
+      ParseNodeList(flags.GetString("targets", ""));
+  if (sources.empty() || targets.empty()) {
+    return Fail("need --sources a,b,... and --targets c,d,...");
+  }
+  const std::string agg_name = flags.GetString("aggregate", "avg");
+  const Aggregate aggregate = agg_name == "min"   ? Aggregate::kMinimum
+                              : agg_name == "max" ? Aggregate::kMaximum
+                                                  : Aggregate::kAverage;
+  WallTimer timer;
+  auto solution = MaximizeMultiReliability(*graph, sources, targets,
+                                           aggregate, OptionsFromFlags(flags));
+  if (!solution.ok()) return Fail(solution.status().ToString());
+  std::printf("%s aggregate: %.4f -> %.4f (gain %.4f) in %.2f s\n",
+              AggregateName(aggregate), solution->aggregate_before,
+              solution->aggregate_after, solution->gain(),
+              timer.ElapsedSeconds());
+  for (const Edge& e : solution->added_edges) {
+    std::printf("  add %u -> %u (p = %.3f)\n", e.src, e.dst, e.prob);
+  }
+  return 0;
+}
+
+int CmdBudget(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  if (!flags.Has("s") || !flags.Has("t")) return Fail("need --s and --t");
+  const NodeId s = static_cast<NodeId>(flags.GetInt("s", 0));
+  const NodeId t = static_cast<NodeId>(flags.GetInt("t", 0));
+  BudgetOptions budget;
+  budget.total_budget = flags.GetDouble("budget", 2.0);
+  budget.max_edges = static_cast<int>(flags.GetInt("max-edges", 10));
+  budget.units = static_cast<int>(flags.GetInt("units", 20));
+  budget.max_edge_prob = flags.GetDouble("max-edge-prob", 0.95);
+  auto solution = MaximizeReliabilityWithProbabilityBudget(
+      *graph, s, t, budget, OptionsFromFlags(flags));
+  if (!solution.ok()) return Fail(solution.status().ToString());
+  std::printf(
+      "budget %.2f (used %.2f): reliability %.4f -> %.4f (gain %.4f)\n",
+      budget.total_budget, solution->budget_used,
+      solution->reliability_before, solution->reliability_after,
+      solution->gain());
+  for (const Edge& e : solution->added_edges) {
+    std::printf("  add %u -> %u with allocated p = %.3f\n", e.src, e.dst,
+                e.prob);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace relmax
+
+int main(int argc, char** argv) {
+  if (argc < 2) return relmax::Usage();
+  const std::string command = argv[1];
+  relmax::Flags flags = relmax::Flags::Parse(argc - 1, argv + 1);
+  if (command == "gen") return relmax::CmdGen(flags);
+  if (command == "stats") return relmax::CmdStats(flags);
+  if (command == "estimate") return relmax::CmdEstimate(flags);
+  if (command == "solve") return relmax::CmdSolve(flags);
+  if (command == "multi") return relmax::CmdMulti(flags);
+  if (command == "budget") return relmax::CmdBudget(flags);
+  return relmax::Usage();
+}
