@@ -46,6 +46,42 @@ void BM_MonteCarloReliability(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloReliability)->Arg(100)->Arg(500)->Arg(1000);
 
+// The batched parallel MC kernel: same estimate bit-for-bit at every thread
+// count (second range arg), wall-clock scaling with lanes.
+void BM_MonteCarloReliabilityParallel(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  const int z = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateReliability(
+        TestGraph().graph, s, t,
+        {.num_samples = z, .seed = 11, .num_threads = threads}));
+  }
+  state.SetItemsProcessed(state.iterations() * z);
+}
+BENCHMARK(BM_MonteCarloReliabilityParallel)
+    ->Args({2000, 1})
+    ->Args({2000, 2})
+    ->Args({2000, 4})
+    ->Args({2000, 8})
+    ->UseRealTime();
+
+void BM_RssReliabilityParallel(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  const int z = static_cast<int>(state.range(0));
+  const int threads = static_cast<int>(state.range(1));
+  RssSampler sampler(TestGraph().graph,
+                     {.num_samples = z, .seed = 11, .num_threads = threads});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Reliability(s, t));
+  }
+  state.SetItemsProcessed(state.iterations() * z);
+}
+BENCHMARK(BM_RssReliabilityParallel)
+    ->Args({2000, 1})
+    ->Args({2000, 4})
+    ->UseRealTime();
+
 void BM_RssReliability(benchmark::State& state) {
   const auto [s, t] = TestQuery();
   const int z = static_cast<int>(state.range(0));

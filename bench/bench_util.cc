@@ -36,6 +36,8 @@ BenchConfig BenchConfig::FromFlags(const Flags& flags) {
   config.gain_samples =
       static_cast<int>(flags.GetInt("gain-samples", config.gain_samples));
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  config.num_threads =
+      static_cast<int>(flags.GetInt("threads", config.num_threads));
   return config;
 }
 
@@ -50,6 +52,7 @@ SolverOptions BenchConfig::ToSolverOptions() const {
   options.elimination_samples = elim_samples;
   options.seed = seed;
   options.estimator = estimator;
+  options.num_threads = num_threads;
   return options;
 }
 
@@ -117,12 +120,14 @@ EliminatedQuery Eliminate(const UncertainGraph& g, NodeId s, NodeId t,
 
 double MeasureGain(const UncertainGraph& g, NodeId s, NodeId t,
                    const std::vector<Edge>& edges, int num_samples,
-                   uint64_t seed) {
-  const double before =
-      EstimateReliability(g, s, t, {.num_samples = num_samples, .seed = seed});
+                   uint64_t seed, int num_threads) {
+  const double before = EstimateReliability(
+      g, s, t,
+      {.num_samples = num_samples, .seed = seed, .num_threads = num_threads});
   if (edges.empty()) return 0.0;
   const double after = EstimateReliability(
-      AugmentGraph(g, edges), s, t, {.num_samples = num_samples, .seed = seed});
+      AugmentGraph(g, edges), s, t,
+      {.num_samples = num_samples, .seed = seed, .num_threads = num_threads});
   return after - before;
 }
 
@@ -217,7 +222,7 @@ MethodResult RunMethodEliminated(const UncertainGraph& g, NodeId s, NodeId t,
         {eq.sub_nodes[e.src], eq.sub_nodes[e.dst], e.prob});
   }
   result.gain = MeasureGain(g, s, t, result.edges, config.gain_samples,
-                            config.seed ^ 0x9a19);
+                            config.seed ^ 0x9a19, config.num_threads);
   result.peak_rss_bytes = PeakRssBytes();
   return result;
 }
@@ -234,7 +239,7 @@ MethodResult RunMethodDirect(const UncertainGraph& g, NodeId s, NodeId t,
   result.edges = Dispatch(g, s, t, candidates, method, options);
   result.seconds = timer.ElapsedSeconds();
   result.gain = MeasureGain(g, s, t, result.edges, config.gain_samples,
-                            config.seed ^ 0x9a19);
+                            config.seed ^ 0x9a19, config.num_threads);
   result.peak_rss_bytes = PeakRssBytes();
   return result;
 }

@@ -18,7 +18,8 @@ namespace relmax {
 namespace bench {
 
 /// Shared knobs for all paper-table benches, overridable via command line
-/// (--scale, --queries, --k, --zeta, --r, --l, --h, --samples, --seed) or
+/// (--scale, --queries, --k, --zeta, --r, --l, --h, --samples,
+/// --seed, --threads) or
 /// the RELMAX_* environment variables. Defaults are laptop-scale: the whole
 /// harness finishes in minutes on one core while preserving the paper's
 /// relative ordering of methods.
@@ -35,6 +36,9 @@ struct BenchConfig {
   /// Samples for the final reported gain (higher to stabilize the tables).
   int gain_samples = 2000;
   uint64_t seed = 42;
+  /// Worker lanes for every sampling step (--threads; <= 0 = all hardware
+  /// threads). Results are bit-identical regardless of this value.
+  int num_threads = 1;
   /// Estimator for the elimination/selection phases (Tables 6-7 compare).
   Estimator estimator = Estimator::kMonteCarlo;
   /// The per-candidate greedy baselines (Individual Top-k, Hill Climbing)
@@ -107,7 +111,7 @@ MethodResult RunMethodDirect(const UncertainGraph& g, NodeId s, NodeId t,
 /// Reliability gain of adding `edges` to g, measured on the full graph.
 double MeasureGain(const UncertainGraph& g, NodeId s, NodeId t,
                    const std::vector<Edge>& edges, int num_samples,
-                   uint64_t seed);
+                   uint64_t seed, int num_threads = 1);
 
 /// Loads a dataset at the bench scale, failing loudly.
 Dataset LoadDataset(const std::string& name, const BenchConfig& config);

@@ -77,7 +77,8 @@ StatusOr<InfluenceResult> MaximizeInfluenceSpread(
   InfluenceResult result;
   result.spread_before = InfluenceSpread(g, sources, targets,
                                          options.num_samples,
-                                         options.seed ^ 0xbefe);
+                                         options.seed ^ 0xbefe,
+                                         options.num_threads);
 
   auto candidates = SelectCandidatesMulti(g, sources, targets, options);
   RELMAX_RETURN_IF_ERROR(candidates.status());
@@ -144,7 +145,8 @@ StatusOr<InfluenceResult> MaximizeInfluenceSpread(
       }
     }
     return InfluenceSpread(union_graph, sub_sources, sub_targets,
-                           options.num_samples, options.seed ^ salt);
+                           options.num_samples, options.seed ^ salt,
+                           options.num_threads);
   };
   const std::vector<int> indices = SelectEdgesByPathBatchesObjective(
       annotated, options.budget_k, objective);
@@ -154,7 +156,7 @@ StatusOr<InfluenceResult> MaximizeInfluenceSpread(
 
   result.spread_after = InfluenceSpread(
       AugmentGraph(g, result.recommended_edges), sources, targets,
-      options.num_samples, options.seed ^ 0xafe);
+      options.num_samples, options.seed ^ 0xafe, options.num_threads);
   return result;
 }
 

@@ -107,7 +107,7 @@ StatusOr<std::vector<Edge>> SelectHillClimbingMulti(
     const uint64_t seed = options.seed ^ (0x517ab1ULL + round);
     const double base = AggregateMatrix(
         PairwiseReliability(working, sources, targets, options.num_samples,
-                            seed),
+                            seed, options.num_threads),
         aggregate);
     int best = -1;
     double best_gain = 0.0;
@@ -116,7 +116,8 @@ StatusOr<std::vector<Edge>> SelectHillClimbingMulti(
       const UncertainGraph augmented = AugmentGraph(working, {candidates[i]});
       const double value = AggregateMatrix(
           PairwiseReliability(augmented, sources, targets,
-                              options.num_samples, seed),
+                              options.num_samples, seed,
+                              options.num_threads),
           aggregate);
       if (best < 0 || value - base > best_gain) {
         best_gain = value - base;

@@ -28,14 +28,16 @@ StatusOr<std::vector<Edge>> SelectIma(const UncertainGraph& g,
   for (int round = 0; round < options.budget_k; ++round) {
     const uint64_t seed = options.seed ^ (0x13a + round);
     const double base = InfluenceSpread(working, sources, targets,
-                                        options.num_samples, seed);
+                                        options.num_samples, seed,
+                                        options.num_threads);
     int best = -1;
     double best_gain = 0.0;
     for (size_t i = 0; i < candidates.size(); ++i) {
       if (used[i]) continue;
       const UncertainGraph augmented = AugmentGraph(working, {candidates[i]});
       const double gain = InfluenceSpread(augmented, sources, targets,
-                                          options.num_samples, seed) -
+                                          options.num_samples, seed,
+                                          options.num_threads) -
                           base;
       if (best < 0 || gain > best_gain) {
         best_gain = gain;

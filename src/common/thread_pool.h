@@ -1,0 +1,64 @@
+#ifndef RELMAX_COMMON_THREAD_POOL_H_
+#define RELMAX_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace relmax {
+
+/// Fixed-size worker pool with a single FIFO task queue.
+///
+/// The pool exists so that the batched sampling executors (sampling/parallel.h)
+/// can fan work out without paying thread creation on every estimate — solver
+/// loops issue thousands of small estimates per query. Tasks must not block on
+/// other tasks of the same pool; the executors keep the submitting thread
+/// working alongside the pool, so a full queue can never deadlock a caller.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Drains the queue, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; any worker may pick it up.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished executing (not merely
+  /// been dequeued). New tasks submitted while waiting extend the wait.
+  void Wait();
+
+  /// Runs one queued task on the calling thread, if any is pending; returns
+  /// whether a task was run. Lets a thread that is waiting on a subset of
+  /// tasks help drain the queue instead of blocking, which keeps nested
+  /// fan-outs deadlock-free.
+  bool TryRunOne();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Number of hardware threads, with a sane floor of 1.
+  static int HardwareConcurrency();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_ready_;   // signals workers
+  std::condition_variable all_done_;     // signals Wait()
+  std::deque<std::function<void()>> queue_;
+  size_t pending_ = 0;  // queued + currently executing tasks
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace relmax
+
+#endif  // RELMAX_COMMON_THREAD_POOL_H_

@@ -1,10 +1,12 @@
 #include "core/evaluate.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "common/logging.h"
 #include "common/rng.h"
 #include "graph/visit_marker.h"
+#include "sampling/parallel.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
 
@@ -16,6 +18,7 @@ RssOptions MakeRssOptions(const SolverOptions& options, int num_samples,
   RssOptions rss = options.rss;
   rss.num_samples = num_samples;
   rss.seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 1);
+  rss.num_threads = options.num_threads;
   return rss;
 }
 
@@ -31,7 +34,8 @@ double EstimateWithOptions(const UncertainGraph& g, NodeId s, NodeId t,
   return EstimateReliability(
       g, s, t,
       {.num_samples = options.num_samples,
-       .seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 1)});
+       .seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 1),
+       .num_threads = options.num_threads});
 }
 
 std::vector<double> FromSourceWithOptions(const UncertainGraph& g, NodeId s,
@@ -45,7 +49,8 @@ std::vector<double> FromSourceWithOptions(const UncertainGraph& g, NodeId s,
   return ReliabilityFromSource(
       g, s,
       {.num_samples = options.elimination_samples,
-       .seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 3)});
+       .seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 3),
+       .num_threads = options.num_threads});
 }
 
 std::vector<double> ToTargetWithOptions(const UncertainGraph& g, NodeId t,
@@ -59,7 +64,8 @@ std::vector<double> ToTargetWithOptions(const UncertainGraph& g, NodeId t,
   return ReliabilityToTarget(
       g, t,
       {.num_samples = options.elimination_samples,
-       .seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 5)});
+       .seed = options.seed ^ (seed_salt * 0x9e3779b97f4a7c15ULL + 5),
+       .num_threads = options.num_threads});
 }
 
 UncertainGraph AugmentGraph(const UncertainGraph& g,
@@ -109,84 +115,48 @@ double PathUnionSubgraph::Reliability(const SolverOptions& options,
   return EstimateWithOptions(graph_, s_, t_, options, seed_salt);
 }
 
-std::vector<std::vector<double>> PairwiseReliability(
-    const UncertainGraph& g, const std::vector<NodeId>& sources,
-    const std::vector<NodeId>& targets, int num_samples, uint64_t seed) {
-  RELMAX_CHECK(num_samples > 0);
-  const NodeId n = g.num_nodes();
-  for (NodeId v : sources) RELMAX_CHECK(v < n);
-  for (NodeId v : targets) RELMAX_CHECK(v < n);
+namespace {
 
-  std::vector<std::vector<int>> hits(
-      sources.size(), std::vector<int>(targets.size(), 0));
-  Rng rng(seed);
-  std::vector<char> present(g.num_edges());
-  VisitMarker visited(n);
-  std::vector<NodeId> queue;
-  queue.reserve(n);
+// Per-lane scratch for the shared-world estimators below: one RNG (reseeded
+// per shard from its counter-based stream) plus BFS buffers and an integer
+// tally that folds commutatively into the shared result.
+struct WorldContext {
+  explicit WorldContext(const UncertainGraph& g, size_t tally_size)
+      : rng(0),
+        present(g.num_edges()),
+        visited(g.num_nodes()),
+        tally(tally_size, 0) {
+    queue.reserve(g.num_nodes());
+  }
 
-  for (int sample = 0; sample < num_samples; ++sample) {
-    // One shared world for every pair: flip each logical edge once.
+  // Flips every logical edge once: one shared world for all pairs.
+  void SampleWorld(const UncertainGraph& g) {
     for (size_t e = 0; e < g.num_edges(); ++e) {
-      present[e] = rng.NextBernoulli(g.EdgeById(static_cast<EdgeId>(e)).prob)
-                       ? 1
-                       : 0;
-    }
-    for (size_t si = 0; si < sources.size(); ++si) {
-      visited.NewEpoch();
-      queue.clear();
-      visited.Visit(sources[si]);
-      queue.push_back(sources[si]);
-      for (size_t head = 0; head < queue.size(); ++head) {
-        const NodeId u = queue[head];
-        for (const Arc& arc : g.OutArcs(u)) {
-          if (!present[arc.edge_id] || visited.Visited(arc.to)) continue;
-          visited.Visit(arc.to);
-          queue.push_back(arc.to);
-        }
-      }
-      for (size_t ti = 0; ti < targets.size(); ++ti) {
-        if (visited.Visited(targets[ti])) ++hits[si][ti];
-      }
+      present[e] =
+          rng.NextBernoulli(g.EdgeById(static_cast<EdgeId>(e)).prob) ? 1 : 0;
     }
   }
 
-  std::vector<std::vector<double>> result(
-      sources.size(), std::vector<double>(targets.size(), 0.0));
-  for (size_t si = 0; si < sources.size(); ++si) {
-    for (size_t ti = 0; ti < targets.size(); ++ti) {
-      result[si][ti] = static_cast<double>(hits[si][ti]) / num_samples;
-    }
-  }
-  return result;
-}
-
-double InfluenceSpread(const UncertainGraph& g,
-                       const std::vector<NodeId>& sources,
-                       const std::vector<NodeId>& targets, int num_samples,
-                       uint64_t seed) {
-  RELMAX_CHECK(num_samples > 0);
-  const NodeId n = g.num_nodes();
-  for (NodeId v : sources) RELMAX_CHECK(v < n);
-  for (NodeId v : targets) RELMAX_CHECK(v < n);
-
-  Rng rng(seed);
-  std::vector<char> present(g.num_edges());
-  VisitMarker visited(n);
-  std::vector<NodeId> queue;
-  queue.reserve(n);
-  int64_t reached_targets = 0;
-  for (int sample = 0; sample < num_samples; ++sample) {
-    for (size_t e = 0; e < g.num_edges(); ++e) {
-      present[e] = rng.NextBernoulli(g.EdgeById(static_cast<EdgeId>(e)).prob)
-                       ? 1
-                       : 0;
-    }
+  // BFS from `seeds` over the sampled world.
+  void Traverse(const UncertainGraph& g, const std::vector<NodeId>& seeds) {
     visited.NewEpoch();
     queue.clear();
-    for (NodeId s : sources) {
+    for (NodeId s : seeds) {
       if (visited.Visit(s)) queue.push_back(s);
     }
+    Flood(g);
+  }
+
+  // Single-seed variant: no seed-vector temporary in the per-source loop.
+  void Traverse(const UncertainGraph& g, NodeId seed) {
+    visited.NewEpoch();
+    queue.clear();
+    visited.Visit(seed);
+    queue.push_back(seed);
+    Flood(g);
+  }
+
+  void Flood(const UncertainGraph& g) {
     for (size_t head = 0; head < queue.size(); ++head) {
       const NodeId u = queue[head];
       for (const Arc& arc : g.OutArcs(u)) {
@@ -195,8 +165,88 @@ double InfluenceSpread(const UncertainGraph& g,
         queue.push_back(arc.to);
       }
     }
-    for (NodeId t : targets) reached_targets += visited.Visited(t) ? 1 : 0;
   }
+
+  Rng rng;
+  std::vector<char> present;
+  VisitMarker visited;
+  std::vector<NodeId> queue;
+  std::vector<int64_t> tally;
+};
+
+}  // namespace
+
+std::vector<std::vector<double>> PairwiseReliability(
+    const UncertainGraph& g, const std::vector<NodeId>& sources,
+    const std::vector<NodeId>& targets, int num_samples, uint64_t seed,
+    int num_threads) {
+  RELMAX_CHECK(num_samples > 0);
+  const NodeId n = g.num_nodes();
+  for (NodeId v : sources) RELMAX_CHECK(v < n);
+  for (NodeId v : targets) RELMAX_CHECK(v < n);
+
+  const std::vector<SampleShard> shards = MakeSampleShards(num_samples, seed);
+  // Flattened |S| x |T| hit counts.
+  std::vector<int64_t> hits(sources.size() * targets.size(), 0);
+  ForEachShard(
+      shards.size(), num_threads,
+      [&] { return std::make_unique<WorldContext>(g, hits.size()); },
+      [&](std::unique_ptr<WorldContext>& ctx, size_t i) {
+        ctx->rng.Reseed(shards[i].seed);
+        for (int sample = 0; sample < shards[i].num_samples; ++sample) {
+          ctx->SampleWorld(g);
+          for (size_t si = 0; si < sources.size(); ++si) {
+            ctx->Traverse(g, sources[si]);
+            for (size_t ti = 0; ti < targets.size(); ++ti) {
+              if (ctx->visited.Visited(targets[ti])) {
+                ++ctx->tally[si * targets.size() + ti];
+              }
+            }
+          }
+        }
+      },
+      [&](std::unique_ptr<WorldContext>& ctx) {
+        for (size_t i = 0; i < hits.size(); ++i) hits[i] += ctx->tally[i];
+      });
+
+  std::vector<std::vector<double>> result(
+      sources.size(), std::vector<double>(targets.size(), 0.0));
+  for (size_t si = 0; si < sources.size(); ++si) {
+    for (size_t ti = 0; ti < targets.size(); ++ti) {
+      result[si][ti] =
+          static_cast<double>(hits[si * targets.size() + ti]) / num_samples;
+    }
+  }
+  return result;
+}
+
+double InfluenceSpread(const UncertainGraph& g,
+                       const std::vector<NodeId>& sources,
+                       const std::vector<NodeId>& targets, int num_samples,
+                       uint64_t seed, int num_threads) {
+  RELMAX_CHECK(num_samples > 0);
+  const NodeId n = g.num_nodes();
+  for (NodeId v : sources) RELMAX_CHECK(v < n);
+  for (NodeId v : targets) RELMAX_CHECK(v < n);
+
+  const std::vector<SampleShard> shards = MakeSampleShards(num_samples, seed);
+  int64_t reached_targets = 0;
+  ForEachShard(
+      shards.size(), num_threads,
+      [&] { return std::make_unique<WorldContext>(g, 1); },
+      [&](std::unique_ptr<WorldContext>& ctx, size_t i) {
+        ctx->rng.Reseed(shards[i].seed);
+        for (int sample = 0; sample < shards[i].num_samples; ++sample) {
+          ctx->SampleWorld(g);
+          ctx->Traverse(g, sources);
+          for (NodeId t : targets) {
+            ctx->tally[0] += ctx->visited.Visited(t) ? 1 : 0;
+          }
+        }
+      },
+      [&](std::unique_ptr<WorldContext>& ctx) {
+        reached_targets += ctx->tally[0];
+      });
   return static_cast<double>(reached_targets) / num_samples;
 }
 

@@ -59,10 +59,12 @@ class PathUnionSubgraph {
 
 /// Pairwise reliability matrix R(s_i, t_j) over shared sampled worlds —
 /// the evaluation primitive for multiple-source-target objectives (§6).
-/// result[i][j] = R(sources[i], targets[j]).
+/// result[i][j] = R(sources[i], targets[j]). Runs on the batched world
+/// executor; bit-identical for a fixed seed across any num_threads.
 std::vector<std::vector<double>> PairwiseReliability(
     const UncertainGraph& g, const std::vector<NodeId>& sources,
-    const std::vector<NodeId>& targets, int num_samples, uint64_t seed);
+    const std::vector<NodeId>& targets, int num_samples, uint64_t seed,
+    int num_threads = 1);
 
 /// Applies the aggregate F over a pairwise reliability matrix.
 double AggregateMatrix(const std::vector<std::vector<double>>& matrix,
@@ -75,7 +77,7 @@ double AggregateMatrix(const std::vector<std::vector<double>>& matrix,
 double InfluenceSpread(const UncertainGraph& g,
                        const std::vector<NodeId>& sources,
                        const std::vector<NodeId>& targets, int num_samples,
-                       uint64_t seed);
+                       uint64_t seed, int num_threads = 1);
 
 }  // namespace relmax
 

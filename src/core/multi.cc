@@ -45,7 +45,7 @@ StatusOr<MultiSolution> SolveAverage(const UncertainGraph& g,
   {
     const auto before =
         PairwiseReliability(g, sources, targets, options.num_samples,
-                            options.seed ^ 0xbefe);
+                            options.seed ^ 0xbefe, options.num_threads);
     solution.aggregate_before = AggregateMatrix(before, Aggregate::kAverage);
   }
 
@@ -117,7 +117,8 @@ StatusOr<MultiSolution> SolveAverage(const UncertainGraph& g,
     }
     const auto matrix =
         PairwiseReliability(union_graph, sub_sources, sub_targets,
-                            options.num_samples, options.seed ^ salt);
+                            options.num_samples, options.seed ^ salt,
+                            options.num_threads);
     return AggregateMatrix(matrix, Aggregate::kAverage);
   };
 
@@ -132,7 +133,7 @@ StatusOr<MultiSolution> SolveAverage(const UncertainGraph& g,
 
   const auto after = PairwiseReliability(
       AugmentGraph(g, solution.added_edges), sources, targets,
-      options.num_samples, options.seed ^ 0xafe);
+      options.num_samples, options.seed ^ 0xafe, options.num_threads);
   solution.aggregate_after = AggregateMatrix(after, Aggregate::kAverage);
   solution.stats.peak_rss_bytes = PeakRssBytes();
   return solution;
@@ -156,7 +157,9 @@ StatusOr<MultiSolution> SolveExtreme(const UncertainGraph& g,
   WallTimer total_timer;
   UncertainGraph working = g;
   auto matrix = PairwiseReliability(working, sources, targets,
-                                    options.num_samples, options.seed ^ 0xbefe);
+                                    options.num_samples,
+                                    options.seed ^ 0xbefe,
+                                    options.num_threads);
   solution.aggregate_before = AggregateMatrix(matrix, aggregate);
 
   // Pairs whose extreme-round solve produced nothing (e.g. unfixable under
@@ -216,7 +219,8 @@ StatusOr<MultiSolution> SolveExtreme(const UncertainGraph& g,
     // and previously exhausted pairs may have become improvable.
     matrix = PairwiseReliability(working, sources, targets,
                                  options.num_samples,
-                                 options.seed ^ (round * 1315423911ULL));
+                                 options.seed ^ (round * 1315423911ULL),
+                                 options.num_threads);
     exhausted.clear();
   }
 

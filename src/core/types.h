@@ -44,6 +44,10 @@ struct SolverOptions {
   RssOptions rss;
   /// Seed for all randomized steps; solutions are deterministic given it.
   uint64_t seed = 42;
+  /// Worker lanes for every sampling step (estimation, elimination,
+  /// selection); <= 0 means all hardware threads. Solutions are
+  /// bit-identical for a fixed seed regardless of this value.
+  int num_threads = 1;
   /// Run the top-l path search on the subgraph induced by C(s) ∪ C(t)
   /// (fast, the default) instead of on the full augmented graph.
   bool paths_on_eliminated_subgraph = true;

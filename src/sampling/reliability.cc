@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sampling/parallel.h"
+
 namespace relmax {
 
 MonteCarloSampler::MonteCarloSampler(const UncertainGraph& g, uint64_t seed)
@@ -55,45 +57,62 @@ bool MonteCarloSampler::SampleWorldBfs(const std::vector<NodeId>& seeds,
   return stop_at != kInvalidNode && visited_.Visited(stop_at);
 }
 
-double MonteCarloSampler::Reliability(NodeId s, NodeId t, int num_samples) {
+int MonteCarloSampler::ReliabilityHits(NodeId s, NodeId t, int num_samples) {
   RELMAX_CHECK(s < graph_.num_nodes() && t < graph_.num_nodes());
   RELMAX_CHECK(num_samples > 0);
-  if (s == t) return 1.0;
+  if (s == t) return num_samples;
   const std::vector<NodeId> seeds = {s};
   int hits = 0;
   for (int i = 0; i < num_samples; ++i) {
     hits += SampleWorldBfs<false>(seeds, t) ? 1 : 0;
   }
-  return static_cast<double>(hits) / num_samples;
+  return hits;
+}
+
+double MonteCarloSampler::Reliability(NodeId s, NodeId t, int num_samples) {
+  return static_cast<double>(ReliabilityHits(s, t, num_samples)) / num_samples;
 }
 
 std::vector<double> MonteCarloSampler::FromSource(NodeId s, int num_samples) {
   return FromSourceSet({s}, num_samples);
 }
 
-std::vector<double> MonteCarloSampler::FromSourceSet(
-    const std::vector<NodeId>& sources, int num_samples) {
+void MonteCarloSampler::AccumulateFromSourceSet(
+    const std::vector<NodeId>& sources, int num_samples,
+    std::vector<int64_t>* counts) {
   RELMAX_CHECK(num_samples > 0);
-  std::vector<int> counts(graph_.num_nodes(), 0);
+  RELMAX_CHECK(counts->size() == graph_.num_nodes());
   for (int i = 0; i < num_samples; ++i) {
     SampleWorldBfs<false>(sources, kInvalidNode);
-    for (NodeId v : queue_) ++counts[v];
+    for (NodeId v : queue_) ++(*counts)[v];
   }
+}
+
+std::vector<double> MonteCarloSampler::FromSourceSet(
+    const std::vector<NodeId>& sources, int num_samples) {
+  std::vector<int64_t> counts(graph_.num_nodes(), 0);
+  AccumulateFromSourceSet(sources, num_samples, &counts);
   std::vector<double> reliability(graph_.num_nodes());
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     reliability[v] = static_cast<double>(counts[v]) / num_samples;
   }
   return reliability;
+}
+
+void MonteCarloSampler::AccumulateToTarget(NodeId t, int num_samples,
+                                           std::vector<int64_t>* counts) {
+  RELMAX_CHECK(num_samples > 0);
+  RELMAX_CHECK(counts->size() == graph_.num_nodes());
+  const std::vector<NodeId> seeds = {t};
+  for (int i = 0; i < num_samples; ++i) {
+    SampleWorldBfs<true>(seeds, kInvalidNode);
+    for (NodeId v : queue_) ++(*counts)[v];
+  }
 }
 
 std::vector<double> MonteCarloSampler::ToTarget(NodeId t, int num_samples) {
-  RELMAX_CHECK(num_samples > 0);
-  const std::vector<NodeId> seeds = {t};
-  std::vector<int> counts(graph_.num_nodes(), 0);
-  for (int i = 0; i < num_samples; ++i) {
-    SampleWorldBfs<true>(seeds, kInvalidNode);
-    for (NodeId v : queue_) ++counts[v];
-  }
+  std::vector<int64_t> counts(graph_.num_nodes(), 0);
+  AccumulateToTarget(t, num_samples, &counts);
   std::vector<double> reliability(graph_.num_nodes());
   for (NodeId v = 0; v < graph_.num_nodes(); ++v) {
     reliability[v] = static_cast<double>(counts[v]) / num_samples;
@@ -101,35 +120,39 @@ std::vector<double> MonteCarloSampler::ToTarget(NodeId t, int num_samples) {
   return reliability;
 }
 
-double MonteCarloSampler::SetReliability(const std::vector<NodeId>& sources,
-                                         NodeId t, int num_samples) {
+int MonteCarloSampler::SetReliabilityHits(const std::vector<NodeId>& sources,
+                                          NodeId t, int num_samples) {
   RELMAX_CHECK(num_samples > 0);
   for (NodeId s : sources) {
-    if (s == t) return 1.0;
+    if (s == t) return num_samples;
   }
   int hits = 0;
   for (int i = 0; i < num_samples; ++i) {
     hits += SampleWorldBfs<false>(sources, t) ? 1 : 0;
   }
-  return static_cast<double>(hits) / num_samples;
+  return hits;
+}
+
+double MonteCarloSampler::SetReliability(const std::vector<NodeId>& sources,
+                                         NodeId t, int num_samples) {
+  return static_cast<double>(SetReliabilityHits(sources, t, num_samples)) /
+         num_samples;
 }
 
 double EstimateReliability(const UncertainGraph& g, NodeId s, NodeId t,
                            const SampleOptions& options) {
-  MonteCarloSampler sampler(g, options.seed);
-  return sampler.Reliability(s, t, options.num_samples);
+  return ParallelReliability(g, s, t, options);
 }
 
 std::vector<double> ReliabilityFromSource(const UncertainGraph& g, NodeId s,
                                           const SampleOptions& options) {
-  MonteCarloSampler sampler(g, options.seed);
-  return sampler.FromSource(s, options.num_samples);
+  RELMAX_CHECK(s < g.num_nodes());
+  return ParallelFromSourceSet(g, {s}, options);
 }
 
 std::vector<double> ReliabilityToTarget(const UncertainGraph& g, NodeId t,
                                         const SampleOptions& options) {
-  MonteCarloSampler sampler(g, options.seed);
-  return sampler.ToTarget(t, options.num_samples);
+  return ParallelToTarget(g, t, options);
 }
 
 }  // namespace relmax

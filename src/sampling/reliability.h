@@ -16,6 +16,10 @@ struct SampleOptions {
   int num_samples = 1000;
   /// RNG seed; estimates are deterministic for a fixed seed.
   uint64_t seed = 42;
+  /// Worker lanes for the batched executor (sampling/parallel.h); <= 0 means
+  /// all hardware threads. Estimates are bit-identical for a fixed seed
+  /// regardless of this value — it only changes wall-clock time.
+  int num_threads = 1;
 };
 
 /// Reusable Monte Carlo reliability estimator over one uncertain graph.
@@ -29,8 +33,30 @@ class MonteCarloSampler {
  public:
   MonteCarloSampler(const UncertainGraph& g, uint64_t seed);
 
+  /// Restarts the RNG stream as if constructed with `seed`. The batched
+  /// executor reuses one sampler per worker lane and reseeds it per shard.
+  void Reseed(uint64_t seed) { rng_.Reseed(seed); }
+
   /// Estimates R(s, t, G) from `num_samples` sampled worlds (Equation 2).
   double Reliability(NodeId s, NodeId t, int num_samples);
+
+  /// Number of worlds (out of `num_samples`) in which t is reachable from s.
+  /// Integer tallies are what the batched executor combines across shards:
+  /// their sums are exact, so merge order cannot perturb the estimate.
+  int ReliabilityHits(NodeId s, NodeId t, int num_samples);
+
+  /// Number of worlds in which t is reachable from at least one source.
+  int SetReliabilityHits(const std::vector<NodeId>& sources, NodeId t,
+                         int num_samples);
+
+  /// Adds per-node reach counts from the source set over `num_samples`
+  /// worlds into `counts` (size num_nodes()).
+  void AccumulateFromSourceSet(const std::vector<NodeId>& sources,
+                               int num_samples, std::vector<int64_t>* counts);
+
+  /// Adds per-node reverse-reach counts toward t into `counts`.
+  void AccumulateToTarget(NodeId t, int num_samples,
+                          std::vector<int64_t>* counts);
 
   /// Fraction of worlds in which each node is reachable from s — the paper's
   /// "reliability from the source" used by search-space elimination (§5.1.1).
@@ -70,7 +96,9 @@ class MonteCarloSampler {
   uint32_t world_epoch_ = 0;
 };
 
-/// One-shot wrapper: Monte Carlo estimate of R(s, t, G).
+/// One-shot wrapper: Monte Carlo estimate of R(s, t, G) via the batched
+/// executor (sampling/parallel.h). For a fixed (num_samples, seed) the
+/// estimate is bit-identical across any options.num_threads.
 double EstimateReliability(const UncertainGraph& g, NodeId s, NodeId t,
                            const SampleOptions& options = {});
 

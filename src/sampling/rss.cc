@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "sampling/parallel.h"
 
 namespace relmax {
 
@@ -112,6 +115,28 @@ double RssSampler::ConditionedMc(const std::vector<NodeId>& roots,
 }
 
 template <bool kReverse>
+void RssSampler::PickPivots(const std::vector<NodeId>& reached,
+                            std::vector<EdgeId>* pivots,
+                            std::vector<double>* pivot_probs) const {
+  // Pivot on up to `strata_width` undetermined frontier edges: only edges
+  // leaving the certainly-reached set can extend it, so conditioning on them
+  // partitions the remaining uncertainty that matters.
+  std::vector<char> in_reached(graph_.num_nodes(), 0);
+  for (NodeId v : reached) in_reached[v] = 1;
+  for (NodeId u : reached) {
+    const std::vector<Arc>& arcs =
+        kReverse ? graph_.InArcs(u) : graph_.OutArcs(u);
+    for (const Arc& arc : arcs) {
+      if (state_[arc.edge_id] != EdgeState::kUndetermined) continue;
+      if (in_reached[arc.to]) continue;
+      pivots->push_back(arc.edge_id);
+      pivot_probs->push_back(arc.prob);
+      if (static_cast<int>(pivots->size()) >= options_.strata_width) return;
+    }
+  }
+}
+
+template <bool kReverse>
 double RssSampler::Recurse(const std::vector<NodeId>& roots, NodeId target,
                            double budget, double weight) {
   const std::vector<NodeId> reached = CertainlyReached<kReverse>(roots);
@@ -127,25 +152,9 @@ double RssSampler::Recurse(const std::vector<NodeId>& roots, NodeId target,
     return ConditionedMc<kReverse>(roots, target, samples, weight);
   }
 
-  // Pivot on up to `strata_width` undetermined frontier edges: only edges
-  // leaving the certainly-reached set can extend it, so conditioning on them
-  // partitions the remaining uncertainty that matters.
-  std::vector<char> in_reached(graph_.num_nodes(), 0);
-  for (NodeId v : reached) in_reached[v] = 1;
   std::vector<EdgeId> pivots;
   std::vector<double> pivot_probs;
-  for (NodeId u : reached) {
-    const std::vector<Arc>& arcs =
-        kReverse ? graph_.InArcs(u) : graph_.OutArcs(u);
-    for (const Arc& arc : arcs) {
-      if (state_[arc.edge_id] != EdgeState::kUndetermined) continue;
-      if (in_reached[arc.to]) continue;
-      pivots.push_back(arc.edge_id);
-      pivot_probs.push_back(arc.prob);
-      if (static_cast<int>(pivots.size()) >= options_.strata_width) break;
-    }
-    if (static_cast<int>(pivots.size()) >= options_.strata_width) break;
-  }
+  PickPivots<kReverse>(reached, &pivots, &pivot_probs);
 
   if (pivots.empty()) {
     // Reachability fully determined: t unreachable in s-t mode; contribute
@@ -178,11 +187,134 @@ double RssSampler::Recurse(const std::vector<NodeId>& roots, NodeId target,
   return result;
 }
 
+template <bool kReverse>
+double RssSampler::TopLevelStrata(const std::vector<NodeId>& roots,
+                                  NodeId target) {
+  const double budget = options_.num_samples;
+  const std::vector<NodeId> reached = CertainlyReached<kReverse>(roots);
+  if (!all_nodes_mode_) {
+    for (NodeId v : reached) {
+      if (v == target) return 1.0;
+    }
+  }
+
+  std::vector<EdgeId> pivots;
+  std::vector<double> pivot_probs;
+  if (budget >= options_.mc_threshold) {
+    PickPivots<kReverse>(reached, &pivots, &pivot_probs);
+  }
+  if (pivots.empty()) {
+    // Tiny budget or fully determined reachability: one stratum, one stream.
+    rng_.Reseed(ShardSeed(options_.seed, 0));
+    return Recurse<kReverse>(roots, target, budget, 1.0);
+  }
+
+  // First-level strata: stratum i fixes pivots 0..i-1 absent and pivot i
+  // present; the final stratum fixes all pivots absent. Each is an
+  // independent work item with weight π_i and its own counter-based stream.
+  struct Stratum {
+    size_t absent_prefix;  // pivots [0, absent_prefix) are conditioned absent
+    bool pivot_present;    // pivots[absent_prefix] conditioned present
+    double weight;
+    uint64_t seed;
+  };
+  std::vector<Stratum> strata;
+  double prefix_absent = 1.0;
+  for (size_t i = 0; i < pivots.size(); ++i) {
+    const double pi = prefix_absent * pivot_probs[i];
+    if (pi > 0.0) {
+      strata.push_back({i, true, pi, ShardSeed(options_.seed, i)});
+    }
+    prefix_absent *= 1.0 - pivot_probs[i];
+    if (prefix_absent == 0.0) break;
+  }
+  if (prefix_absent > 0.0) {
+    strata.push_back({pivots.size(), false, prefix_absent,
+                      ShardSeed(options_.seed, pivots.size())});
+  }
+
+  // Resets `sampler` to the stratum's conditioning and stream.
+  const auto enter_stratum = [&](RssSampler& sampler, const Stratum& stratum) {
+    std::fill(sampler.state_.begin(), sampler.state_.end(),
+              EdgeState::kUndetermined);
+    for (size_t j = 0; j < stratum.absent_prefix; ++j) {
+      sampler.state_[pivots[j]] = EdgeState::kAbsent;
+    }
+    if (stratum.pivot_present) {
+      sampler.state_[pivots[stratum.absent_prefix]] = EdgeState::kPresent;
+    }
+    sampler.rng_.Reseed(stratum.seed);
+  };
+
+  const size_t lanes = std::min(
+      static_cast<size_t>(ResolveNumThreads(options_.num_threads)),
+      strata.size());
+  if (lanes <= 1) {
+    // Serial: run the strata in order on *this* sampler — no duplicate
+    // scratch. All-nodes contributions are still summed per stratum and
+    // folded afterwards, in the exact association the multi-lane fold below
+    // uses, so the result stays bit-identical to any num_threads.
+    std::vector<double> folded;
+    if (all_nodes_mode_) folded = std::move(acc_);
+    double total = 0.0;
+    for (const Stratum& stratum : strata) {
+      enter_stratum(*this, stratum);
+      if (all_nodes_mode_) acc_.assign(graph_.num_nodes(), 0.0);
+      total += stratum.weight * Recurse<kReverse>(
+                                    roots, target, budget * stratum.weight,
+                                    stratum.weight);
+      if (all_nodes_mode_) {
+        for (NodeId v = 0; v < graph_.num_nodes(); ++v) folded[v] += acc_[v];
+      }
+    }
+    if (all_nodes_mode_) {
+      acc_ = std::move(folded);
+      return 0.0;
+    }
+    return total;
+  }
+
+  const bool all_nodes = all_nodes_mode_;
+  std::vector<double> results(strata.size(), 0.0);
+  std::vector<std::vector<double>> stratum_accs(all_nodes ? strata.size() : 0);
+  ForEachShard(
+      strata.size(), options_.num_threads,
+      [this] {
+        return std::unique_ptr<RssSampler>(new RssSampler(graph_, options_));
+      },
+      [&](std::unique_ptr<RssSampler>& worker, size_t i) {
+        const Stratum& stratum = strata[i];
+        enter_stratum(*worker, stratum);
+        worker->all_nodes_mode_ = all_nodes;
+        if (all_nodes) worker->acc_.assign(graph_.num_nodes(), 0.0);
+        const double conditional = worker->Recurse<kReverse>(
+            roots, target, budget * stratum.weight, stratum.weight);
+        if (all_nodes) {
+          stratum_accs[i] = std::move(worker->acc_);
+        } else {
+          results[i] = stratum.weight * conditional;
+        }
+      },
+      [](std::unique_ptr<RssSampler>&) {});
+
+  if (all_nodes) {
+    // Fold per-stratum accumulators in stratum order — deterministic no
+    // matter which lane produced which stratum.
+    for (const std::vector<double>& acc : stratum_accs) {
+      for (NodeId v = 0; v < graph_.num_nodes(); ++v) acc_[v] += acc[v];
+    }
+    return 0.0;
+  }
+  double total = 0.0;
+  for (double r : results) total += r;
+  return total;
+}
+
 double RssSampler::Reliability(NodeId s, NodeId t) {
   RELMAX_CHECK(s < graph_.num_nodes() && t < graph_.num_nodes());
   if (s == t) return 1.0;
   std::fill(state_.begin(), state_.end(), EdgeState::kUndetermined);
-  return Recurse<false>({s}, t, options_.num_samples, 1.0);
+  return TopLevelStrata<false>({s}, t);
 }
 
 template <bool kReverse>
@@ -191,7 +323,7 @@ std::vector<double> RssSampler::AllNodes(NodeId root) {
   std::fill(state_.begin(), state_.end(), EdgeState::kUndetermined);
   acc_.assign(graph_.num_nodes(), 0.0);
   all_nodes_mode_ = true;
-  Recurse<kReverse>({root}, kInvalidNode, options_.num_samples, 1.0);
+  TopLevelStrata<kReverse>({root}, kInvalidNode);
   all_nodes_mode_ = false;
   return std::move(acc_);
 }

@@ -20,6 +20,11 @@ struct RssOptions {
   /// simplified graph.
   int mc_threshold = 12;
   uint64_t seed = 42;
+  /// Worker lanes for the top-level strata (sampling/parallel.h); <= 0 means
+  /// all hardware threads. Each first-level stratum draws from its own
+  /// counter-based stream, so estimates are bit-identical for a fixed seed
+  /// regardless of this value.
+  int num_threads = 1;
 };
 
 /// Recursive stratified sampling estimator.
@@ -53,6 +58,22 @@ class RssSampler {
   // kReverse walks in-arcs.
   template <bool kReverse>
   std::vector<NodeId> CertainlyReached(const std::vector<NodeId>& roots) const;
+
+  // Up to strata_width undetermined frontier edges leaving `reached`, the
+  // pivots the next stratification level conditions on.
+  template <bool kReverse>
+  void PickPivots(const std::vector<NodeId>& reached,
+                  std::vector<EdgeId>* pivots,
+                  std::vector<double>* pivot_probs) const;
+
+  // Entry point shared by Reliability and AllNodes: partitions the space on
+  // the first-level pivots and runs each stratum as an independent work item
+  // on the batched executor. Stratum i draws from the counter-based stream
+  // ShardSeed(seed, i) and results combine in stratum order, so the value is
+  // bit-identical for any num_threads (1 included — the serial path runs the
+  // same per-stratum streams).
+  template <bool kReverse>
+  double TopLevelStrata(const std::vector<NodeId>& roots, NodeId target);
 
   // Recursive stratification. `weight` is the probability mass π of the
   // current stratum; `budget` its sample allowance. In s-t mode (target !=

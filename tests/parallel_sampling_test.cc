@@ -1,0 +1,230 @@
+// Determinism and accuracy of the batched parallel sampling runtime: a fixed
+// seed must give bit-identical estimates for any thread count, and the
+// estimates must still track the exact factoring oracle.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/evaluate.h"
+#include "graph/exact_reliability.h"
+#include "graph/uncertain_graph.h"
+#include "sampling/parallel.h"
+#include "sampling/reliability.h"
+#include "sampling/rss.h"
+
+namespace relmax {
+namespace {
+
+UncertainGraph DiamondGraph() {
+  // s=0 -> {1, 2} -> t=3, all edges 0.5, plus a direct 0->3 edge at 0.2.
+  UncertainGraph g = UncertainGraph::Directed(4);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(0, 3, 0.2).ok());
+  return g;
+}
+
+UncertainGraph BridgeGraph() {
+  // Two triangles joined by a bridge edge 2-3 (undirected): the classic
+  // factoring fixture — the bridge dominates s=0 to t=5 reliability.
+  UncertainGraph g = UncertainGraph::Undirected(6);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 0.6).ok());
+  EXPECT_TRUE(g.AddEdge(3, 4, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(4, 5, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(3, 5, 0.7).ok());
+  return g;
+}
+
+const int kThreadCounts[] = {1, 2, 8};
+
+TEST(ParallelMcTest, BitIdenticalAcrossThreadCountsOnDiamond) {
+  const UncertainGraph g = DiamondGraph();
+  const double reference =
+      EstimateReliability(g, 0, 3, {.num_samples = 10000, .seed = 7,
+                                    .num_threads = 1});
+  for (int threads : kThreadCounts) {
+    const double estimate =
+        EstimateReliability(g, 0, 3, {.num_samples = 10000, .seed = 7,
+                                      .num_threads = threads});
+    EXPECT_EQ(estimate, reference) << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelMcTest, BitIdenticalAcrossThreadCountsOnBridge) {
+  const UncertainGraph g = BridgeGraph();
+  const double reference =
+      EstimateReliability(g, 0, 5, {.num_samples = 9999, .seed = 13,
+                                    .num_threads = 1});
+  for (int threads : kThreadCounts) {
+    const double estimate =
+        EstimateReliability(g, 0, 5, {.num_samples = 9999, .seed = 13,
+                                      .num_threads = threads});
+    EXPECT_EQ(estimate, reference) << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelMcTest, MatchesExactFactoringOnDiamond) {
+  const UncertainGraph g = DiamondGraph();
+  const double exact = ExactReliabilityFactoring(g, 0, 3).value();
+  for (int threads : kThreadCounts) {
+    const double estimate =
+        EstimateReliability(g, 0, 3, {.num_samples = 60000, .seed = 1,
+                                      .num_threads = threads});
+    EXPECT_NEAR(estimate, exact, 0.01) << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelMcTest, MatchesExactFactoringOnBridge) {
+  const UncertainGraph g = BridgeGraph();
+  const double exact = ExactReliabilityFactoring(g, 0, 5).value();
+  for (int threads : kThreadCounts) {
+    const double estimate =
+        EstimateReliability(g, 0, 5, {.num_samples = 60000, .seed = 3,
+                                      .num_threads = threads});
+    EXPECT_NEAR(estimate, exact, 0.01) << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelMcTest, ZeroThreadsMeansAllCoresAndStaysIdentical) {
+  const UncertainGraph g = BridgeGraph();
+  const double serial =
+      EstimateReliability(g, 0, 5, {.num_samples = 5000, .seed = 21,
+                                    .num_threads = 1});
+  const double all_cores =
+      EstimateReliability(g, 0, 5, {.num_samples = 5000, .seed = 21,
+                                    .num_threads = 0});
+  EXPECT_EQ(all_cores, serial);
+}
+
+TEST(ParallelMcTest, FromSourceBitIdenticalAcrossThreadCounts) {
+  const UncertainGraph g = DiamondGraph();
+  const std::vector<double> reference = ReliabilityFromSource(
+      g, 0, {.num_samples = 8000, .seed = 5, .num_threads = 1});
+  for (int threads : kThreadCounts) {
+    const std::vector<double> estimate = ReliabilityFromSource(
+        g, 0, {.num_samples = 8000, .seed = 5, .num_threads = threads});
+    EXPECT_EQ(estimate, reference) << "num_threads = " << threads;
+  }
+  // And the values still track the oracle.
+  for (NodeId v = 1; v < g.num_nodes(); ++v) {
+    const double exact = ExactReliabilityFactoring(g, 0, v).value();
+    EXPECT_NEAR(reference[v], exact, 0.02) << "node " << v;
+  }
+}
+
+TEST(ParallelMcTest, ToTargetBitIdenticalAcrossThreadCounts) {
+  const UncertainGraph g = BridgeGraph();
+  const std::vector<double> reference = ReliabilityToTarget(
+      g, 5, {.num_samples = 8000, .seed = 29, .num_threads = 1});
+  for (int threads : kThreadCounts) {
+    const std::vector<double> estimate = ReliabilityToTarget(
+        g, 5, {.num_samples = 8000, .seed = 29, .num_threads = threads});
+    EXPECT_EQ(estimate, reference) << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelMcTest, SetReliabilityBitIdenticalAcrossThreadCounts) {
+  const UncertainGraph g = BridgeGraph();
+  const double reference = ParallelSetReliability(
+      g, {0, 1}, 5, {.num_samples = 8000, .seed = 31, .num_threads = 1});
+  for (int threads : kThreadCounts) {
+    const double estimate = ParallelSetReliability(
+        g, {0, 1}, 5, {.num_samples = 8000, .seed = 31,
+                       .num_threads = threads});
+    EXPECT_EQ(estimate, reference) << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelRssTest, BitIdenticalAcrossThreadCountsOnDiamond) {
+  const UncertainGraph g = DiamondGraph();
+  const double reference = EstimateReliabilityRss(
+      g, 0, 3, {.num_samples = 2000, .seed = 7, .num_threads = 1});
+  for (int threads : kThreadCounts) {
+    const double estimate = EstimateReliabilityRss(
+        g, 0, 3, {.num_samples = 2000, .seed = 7, .num_threads = threads});
+    EXPECT_EQ(estimate, reference) << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelRssTest, BitIdenticalAcrossThreadCountsOnBridge) {
+  const UncertainGraph g = BridgeGraph();
+  const double reference = EstimateReliabilityRss(
+      g, 0, 5, {.num_samples = 2000, .seed = 11, .num_threads = 1});
+  for (int threads : kThreadCounts) {
+    const double estimate = EstimateReliabilityRss(
+        g, 0, 5, {.num_samples = 2000, .seed = 11, .num_threads = threads});
+    EXPECT_EQ(estimate, reference) << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelRssTest, MatchesExactFactoring) {
+  const UncertainGraph diamond = DiamondGraph();
+  const UncertainGraph bridge = BridgeGraph();
+  EXPECT_NEAR(EstimateReliabilityRss(diamond, 0, 3,
+                                     {.num_samples = 20000, .seed = 3,
+                                      .num_threads = 4}),
+              ExactReliabilityFactoring(diamond, 0, 3).value(), 0.02);
+  EXPECT_NEAR(EstimateReliabilityRss(bridge, 0, 5,
+                                     {.num_samples = 20000, .seed = 3,
+                                      .num_threads = 4}),
+              ExactReliabilityFactoring(bridge, 0, 5).value(), 0.02);
+}
+
+TEST(ParallelRssTest, FromSourceBitIdenticalAcrossThreadCounts) {
+  const UncertainGraph g = BridgeGraph();
+  RssSampler reference_sampler(
+      g, {.num_samples = 1000, .seed = 5, .num_threads = 1});
+  const std::vector<double> reference = reference_sampler.FromSource(0);
+  for (int threads : kThreadCounts) {
+    RssSampler sampler(g,
+                       {.num_samples = 1000, .seed = 5,
+                        .num_threads = threads});
+    EXPECT_EQ(sampler.FromSource(0), reference)
+        << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelEvaluateTest, PairwiseBitIdenticalAcrossThreadCounts) {
+  const UncertainGraph g = BridgeGraph();
+  const auto reference = PairwiseReliability(g, {0, 1}, {4, 5}, 6000, 17, 1);
+  for (int threads : kThreadCounts) {
+    const auto matrix = PairwiseReliability(g, {0, 1}, {4, 5}, 6000, 17,
+                                            threads);
+    EXPECT_EQ(matrix, reference) << "num_threads = " << threads;
+  }
+  EXPECT_NEAR(reference[1][1], ExactReliabilityFactoring(g, 1, 5).value(),
+              0.02);
+}
+
+TEST(ParallelEvaluateTest, InfluenceSpreadBitIdenticalAcrossThreadCounts) {
+  const UncertainGraph g = DiamondGraph();
+  const double reference = InfluenceSpread(g, {0}, {1, 2, 3}, 6000, 19, 1);
+  for (int threads : kThreadCounts) {
+    EXPECT_EQ(InfluenceSpread(g, {0}, {1, 2, 3}, 6000, 19, threads),
+              reference)
+        << "num_threads = " << threads;
+  }
+}
+
+TEST(ParallelEvaluateTest, SolverOptionsThreadsDoNotChangeEstimates) {
+  const UncertainGraph g = BridgeGraph();
+  SolverOptions serial;
+  serial.num_samples = 4000;
+  serial.num_threads = 1;
+  SolverOptions parallel = serial;
+  parallel.num_threads = 8;
+  EXPECT_EQ(EstimateWithOptions(g, 0, 5, serial, 3),
+            EstimateWithOptions(g, 0, 5, parallel, 3));
+  serial.estimator = Estimator::kRss;
+  parallel.estimator = Estimator::kRss;
+  EXPECT_EQ(EstimateWithOptions(g, 0, 5, serial, 3),
+            EstimateWithOptions(g, 0, 5, parallel, 3));
+}
+
+}  // namespace
+}  // namespace relmax

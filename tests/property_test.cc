@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/rng.h"
 #include "core/candidates.h"
@@ -110,6 +111,42 @@ TEST_P(ReliabilityInvariantSweep, SpreadAndPairwiseConsistency) {
   EXPECT_NEAR(InfluenceSpread(g, {0}, {6}, 30000, 9), exact, 0.015);
   const auto matrix = PairwiseReliability(g, {0}, {6}, 30000, 9);
   EXPECT_NEAR(matrix[0][0], exact, 0.015);
+}
+
+// Parallel MC and RSS agree with exact factoring within 3σ confidence
+// bounds on random DAGs, for every thread count. A DAG (edges only from
+// lower to higher ids) keeps the exact oracle cheap while still exercising
+// multi-path strata.
+TEST_P(ReliabilityInvariantSweep, ParallelEstimatorsWithin3SigmaOnRandomDag) {
+  Rng rng(900 + GetParam());
+  const NodeId n = 8;
+  UncertainGraph g = UncertainGraph::Directed(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(0.4)) {
+        ASSERT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.1, 0.9)).ok());
+      }
+    }
+  }
+  const NodeId s = 0;
+  const NodeId t = n - 1;
+  const double exact = ExactReliabilityFactoring(g, s, t, 50).value();
+
+  const int kSamples = 20000;
+  // One MC sample is Bernoulli(R): σ = sqrt(R(1-R)/Z). RSS only has lower
+  // variance, so the same bound holds for it a fortiori.
+  const double sigma =
+      std::sqrt(std::max(exact * (1.0 - exact), 1e-6) / kSamples);
+  for (int threads : {1, 2, 8}) {
+    const double mc = EstimateReliability(
+        g, s, t,
+        {.num_samples = kSamples, .seed = 77, .num_threads = threads});
+    EXPECT_NEAR(mc, exact, 3.0 * sigma) << "MC, num_threads = " << threads;
+    const double rss = EstimateReliabilityRss(
+        g, s, t,
+        {.num_samples = kSamples, .seed = 78, .num_threads = threads});
+    EXPECT_NEAR(rss, exact, 3.0 * sigma) << "RSS, num_threads = " << threads;
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReliabilityInvariantSweep,

@@ -79,7 +79,10 @@ TEST(RssTest, LowerVarianceThanMonteCarloAtEqualBudget) {
   const NodeId s = 0;
   const NodeId t = 9;
   const int kBudget = 150;
-  const int kRuns = 120;
+  // 120 runs is underpowered: the ~25% variance gap between the estimators
+  // is within run-to-run noise at that size and the comparison can flip on
+  // any RNG stream change. 400 runs separates them reliably.
+  const int kRuns = 400;
   Rng seeds(2025);
 
   double mc_sum = 0.0;

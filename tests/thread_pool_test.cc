@@ -1,0 +1,162 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "sampling/parallel.h"
+
+namespace relmax {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 1000; ++i) {
+    pool.Submit([&counter] { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1000);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPoolTest, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();  // must not hang
+}
+
+TEST(ThreadPoolTest, TasksRunOnMultipleThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.Wait();
+  EXPECT_GT(ids.size(), 1u);
+}
+
+TEST(ThreadPoolTest, TryRunOneExecutesAQueuedTask) {
+  // A single-worker pool blocked on a slow task: the caller can steal the
+  // queued task instead of waiting for the worker.
+  ThreadPool pool(1);
+  std::atomic<bool> started{false};
+  std::atomic<bool> release{false};
+  pool.Submit([&started, &release] {
+    started.store(true);
+    while (!release.load()) std::this_thread::yield();
+  });
+  // Wait until the worker owns the blocking task — otherwise TryRunOne below
+  // could claim it and spin on `release` forever.
+  while (!started.load()) std::this_thread::yield();
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter.fetch_add(1); });
+  while (!pool.TryRunOne()) std::this_thread::yield();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_FALSE(pool.TryRunOne());  // queue is empty now
+  release.store(true);
+  pool.Wait();
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 100; ++i) {
+      pool.Submit([&counter] { counter.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(counter.load(), 100);
+}
+
+// ------------------------------------------------------ batched executor
+
+TEST(RunWorkersTest, EveryLaneRunsExactlyOnce) {
+  std::vector<std::atomic<int>> hits(8);
+  RunWorkers(8, [&hits](int worker) { hits[worker].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(RunWorkersTest, SingleWorkerRunsInline) {
+  const std::thread::id caller = std::this_thread::get_id();
+  RunWorkers(1, [&](int worker) {
+    EXPECT_EQ(worker, 0);
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+  });
+}
+
+TEST(ShardingTest, ShardsCoverBudgetExactly) {
+  for (int total : {1, 63, 64, 65, 500, 60000}) {
+    const auto shards = MakeSampleShards(total, 7);
+    int sum = 0;
+    for (const auto& shard : shards) {
+      EXPECT_GT(shard.num_samples, 0);
+      EXPECT_LE(shard.num_samples, kShardSamples);
+      sum += shard.num_samples;
+    }
+    EXPECT_EQ(sum, total) << "total " << total;
+  }
+}
+
+TEST(ShardingTest, LayoutIndependentOfThreadCount) {
+  // The shard layout is a pure function of (total, seed) — there is no
+  // thread-count input at all, which is what makes estimates bit-identical.
+  const auto a = MakeSampleShards(1000, 42);
+  const auto b = MakeSampleShards(1000, 42);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed);
+    EXPECT_EQ(a[i].num_samples, b[i].num_samples);
+  }
+}
+
+TEST(ShardingTest, ShardSeedsAreDistinctStreams) {
+  std::set<uint64_t> seeds;
+  for (uint64_t i = 0; i < 1000; ++i) seeds.insert(ShardSeed(42, i));
+  EXPECT_EQ(seeds.size(), 1000u);
+  EXPECT_NE(ShardSeed(1, 0), ShardSeed(2, 0));
+}
+
+TEST(ForEachShardTest, VisitsEveryShardOnce) {
+  for (int threads : {1, 2, 8}) {
+    std::vector<std::atomic<int>> visits(100);
+    ForEachShard(
+        visits.size(), threads, [] { return 0; },
+        [&](int&, size_t i) { visits[i].fetch_add(1); }, [](int&) {});
+    for (const auto& v : visits) EXPECT_EQ(v.load(), 1);
+  }
+}
+
+TEST(ForEachShardTest, ReduceRunsOncePerLane) {
+  std::atomic<int> lanes{0};
+  ForEachShard(
+      16, 4, [] { return 0; }, [](int& ctx, size_t) { ++ctx; },
+      [&lanes](int&) { lanes.fetch_add(1); });
+  EXPECT_GE(lanes.load(), 1);
+  EXPECT_LE(lanes.load(), 4);
+}
+
+TEST(ResolveNumThreadsTest, ZeroMeansHardware) {
+  EXPECT_EQ(ResolveNumThreads(3), 3);
+  EXPECT_EQ(ResolveNumThreads(0), ThreadPool::HardwareConcurrency());
+  EXPECT_EQ(ResolveNumThreads(-1), ThreadPool::HardwareConcurrency());
+}
+
+}  // namespace
+}  // namespace relmax

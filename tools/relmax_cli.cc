@@ -4,11 +4,12 @@
 //   relmax stats    --graph graph.txt
 //   relmax estimate --graph graph.txt --s 3 --t 99 [--estimator rss]
 //   relmax solve    --graph graph.txt --s 3 --t 99 --k 10 --zeta 0.5
-//   relmax multi    --graph graph.txt --sources 1,2 --targets 8,9 \
+//   relmax multi    --graph graph.txt --sources 1,2 --targets 8,9
 //                   --aggregate min --k 10
 //   relmax budget   --graph graph.txt --s 3 --t 99 --budget 2.0 --max-edges 5
 //
-// Every command accepts --seed and prints deterministic results.
+// Every command accepts --seed and prints deterministic results. Sampling
+// commands accept --threads N (0 = all cores); results do not depend on it.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -73,6 +74,7 @@ SolverOptions OptionsFromFlags(const Flags& flags) {
   options.elimination_samples =
       static_cast<int>(flags.GetInt("elim-samples", 500));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   if (flags.GetString("estimator", "mc") == "rss") {
     options.estimator = Estimator::kRss;
   }
@@ -81,13 +83,13 @@ SolverOptions OptionsFromFlags(const Flags& flags) {
 
 int CmdGen(const Flags& flags) {
   const std::string name = flags.GetString("dataset", "");
-  const std::string out = flags.GetString("out", "");
-  if (name.empty() || out.empty()) {
-    return Fail("gen requires --dataset and --out (see --dataset list)");
-  }
   if (name == "list") {
     for (const std::string& d : DatasetNames()) std::printf("%s\n", d.c_str());
     return 0;
+  }
+  const std::string out = flags.GetString("out", "");
+  if (name.empty() || out.empty()) {
+    return Fail("gen requires --dataset and --out (see --dataset list)");
   }
   auto dataset = MakeDataset(name, flags.GetDouble("scale", 0.1),
                              static_cast<uint64_t>(flags.GetInt("seed", 42)));
@@ -131,14 +133,17 @@ int CmdEstimate(const Flags& flags) {
   }
   const int samples = static_cast<int>(flags.GetInt("samples", 2000));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
   WallTimer timer;
   double reliability;
   if (flags.GetString("estimator", "mc") == "rss") {
     reliability = EstimateReliabilityRss(
-        *graph, s, t, {.num_samples = samples, .seed = seed});
+        *graph, s, t,
+        {.num_samples = samples, .seed = seed, .num_threads = threads});
   } else {
     reliability = EstimateReliability(
-        *graph, s, t, {.num_samples = samples, .seed = seed});
+        *graph, s, t,
+        {.num_samples = samples, .seed = seed, .num_threads = threads});
   }
   std::printf("R(%u, %u) = %.4f   (%d samples, %.3f s)\n", s, t, reliability,
               samples, timer.ElapsedSeconds());
