@@ -9,7 +9,7 @@ namespace relmax {
 namespace bench {
 namespace {
 
-void Run(const BenchConfig& config) {
+void Run(const BenchConfig& config, bool print_edges) {
   Dataset dataset = LoadDataset("lastfm", config);
   const auto queries = MakeQueries(dataset.graph, config);
   const SolverOptions options = config.ToSolverOptions();
@@ -40,6 +40,15 @@ void Run(const BenchConfig& config) {
           dataset.graph, s, t, eliminated[q], method, config);
       gain += result.gain;
       seconds += result.seconds;
+      if (print_edges) {
+        // A/B verification line (e.g. --reuse-worlds on vs off): selected
+        // edge sets can be diffed directly across runs.
+        std::printf("edges %s q%zu:", MethodLabel(method), q);
+        for (const Edge& e : result.edges) {
+          std::printf(" (%u,%u)", e.src, e.dst);
+        }
+        std::printf("\n");
+      }
     }
     table.AddRow({MethodLabel(method), Fmt(gain / queries.size()),
                   Fmt(seconds / queries.size(), 2)});
@@ -61,6 +70,6 @@ int main(int argc, char** argv) {
       relmax::bench::BenchConfig::FromFlags(flags);
   relmax::bench::PrintHeader(
       "Table 5: methods with search-space elimination (lastfm-like)", config);
-  relmax::bench::Run(config);
+  relmax::bench::Run(config, flags.GetBool("print-edges", false));
   return 0;
 }

@@ -38,6 +38,7 @@ BenchConfig BenchConfig::FromFlags(const Flags& flags) {
   config.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   config.num_threads =
       static_cast<int>(flags.GetInt("threads", config.num_threads));
+  config.reuse_worlds = flags.GetBool("reuse-worlds", config.reuse_worlds);
   return config;
 }
 
@@ -53,6 +54,7 @@ SolverOptions BenchConfig::ToSolverOptions() const {
   options.seed = seed;
   options.estimator = estimator;
   options.num_threads = num_threads;
+  options.reuse_worlds = reuse_worlds;
   return options;
 }
 
@@ -297,10 +299,11 @@ void PrintHeader(const std::string& title, const BenchConfig& config) {
   std::printf("\n=== %s ===\n", title.c_str());
   std::printf(
       "config: scale=%.3g queries=%d k=%d zeta=%.2f r=%d l=%d h=%d "
-      "Z=%d elimZ=%d seed=%llu\n",
+      "Z=%d elimZ=%d seed=%llu reuse-worlds=%d\n",
       config.scale, config.queries, config.k, config.zeta, config.r, config.l,
       config.h, config.samples, config.elim_samples,
-      static_cast<unsigned long long>(config.seed));
+      static_cast<unsigned long long>(config.seed),
+      config.reuse_worlds ? 1 : 0);
   std::fflush(stdout);
 }
 

@@ -19,7 +19,7 @@ namespace bench {
 
 /// Shared knobs for all paper-table benches, overridable via command line
 /// (--scale, --queries, --k, --zeta, --r, --l, --h, --samples,
-/// --seed, --threads) or
+/// --seed, --threads, --reuse-worlds) or
 /// the RELMAX_* environment variables. Defaults are laptop-scale: the whole
 /// harness finishes in minutes on one core while preserving the paper's
 /// relative ordering of methods.
@@ -39,6 +39,9 @@ struct BenchConfig {
   /// Worker lanes for every sampling step (--threads; <= 0 = all hardware
   /// threads). Results are bit-identical regardless of this value.
   int num_threads = 1;
+  /// Shared possible-world bank for the greedy selection loops
+  /// (--reuse-worlds=0 disables; see SolverOptions::reuse_worlds).
+  bool reuse_worlds = true;
   /// Estimator for the elimination/selection phases (Tables 6-7 compare).
   Estimator estimator = Estimator::kMonteCarlo;
   /// The per-candidate greedy baselines (Individual Top-k, Hill Climbing)

@@ -5,10 +5,12 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "core/selection.h"
 #include "graph/visit_marker.h"
 #include "sampling/parallel.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
+#include "sampling/world_bank.h"
 
 namespace relmax {
 namespace {
@@ -95,24 +97,121 @@ NodeId PathUnionSubgraph::Map(NodeId v) {
   return remap_[v];
 }
 
-void PathUnionSubgraph::AddPath(const PathResult& path) {
+std::vector<EdgeId> PathUnionSubgraph::AddPath(const PathResult& path) {
+  std::vector<EdgeId> edge_ids;
+  if (!path.nodes.empty()) edge_ids.reserve(path.nodes.size() - 1);
   for (size_t i = 0; i + 1 < path.nodes.size(); ++i) {
     const NodeId u = path.nodes[i];
     const NodeId v = path.nodes[i + 1];
     const NodeId su = Map(u);
     const NodeId sv = Map(v);
-    if (graph_.HasEdge(su, sv)) continue;
+    if (const auto existing = graph_.EdgeIndexOf(su, sv)) {
+      edge_ids.push_back(*existing);
+      continue;
+    }
     const auto prob = base_.EdgeProb(u, v);
     RELMAX_DCHECK(prob.has_value());
     const Status st = graph_.AddEdge(su, sv, *prob);
     RELMAX_DCHECK(st.ok());
     (void)st;
+    edge_ids.push_back(*graph_.EdgeIndexOf(su, sv));
   }
+  return edge_ids;
 }
 
 double PathUnionSubgraph::Reliability(const SolverOptions& options,
                                       uint64_t seed_salt) const {
   return EstimateWithOptions(graph_, s_, t_, options, seed_salt);
+}
+
+struct PathSetEvaluator::Impl {
+  /// Union of all annotated paths — the sampling universe.
+  PathUnionSubgraph universe;
+  std::unique_ptr<WorldBank> bank;
+  /// Per-path edge ids in the universe graph, in path order.
+  std::vector<std::vector<EdgeId>> path_edges;
+  /// Per-path world-indexed bitset: worlds where the whole path is up.
+  std::vector<std::vector<uint64_t>> path_up;
+  // Evaluation scratch, sized once and reused.
+  std::vector<EdgeId> active;           ///< selected edges, in path order
+  std::vector<uint32_t> edge_epoch;     ///< dedup stamp per universe edge
+  uint32_t epoch = 0;
+  std::vector<std::vector<uint64_t>> reach;
+
+  Impl(const UncertainGraph& g_plus, NodeId s, NodeId t)
+      : universe(g_plus, s, t) {}
+
+  // Appends path i's edges to `active` (deduplicated, path order preserved
+  // so the fixpoint converges in ~2 sweeps) and ORs its all-edges-up worlds
+  // into the fast-path seed at reach[t].
+  void MergePath(int i) {
+    for (EdgeId e : path_edges[i]) {
+      if (edge_epoch[e] == epoch) continue;
+      edge_epoch[e] = epoch;
+      active.push_back(e);
+    }
+    const std::vector<uint64_t>& up = path_up[i];
+    std::vector<uint64_t>& at_t = reach[universe.t()];
+    for (size_t w = 0; w < up.size(); ++w) at_t[w] |= up[w];
+  }
+};
+
+// Seed tag decorrelating the bank's worlds from the solver's other sampling
+// streams (elimination, before/after estimates) at the same options.seed.
+namespace {
+constexpr uint64_t kWorldBankSalt = 0x1d57a6b1e55ed5eeULL;
+}  // namespace
+
+PathSetEvaluator::PathSetEvaluator(const UncertainGraph& g_plus, NodeId s,
+                                   NodeId t,
+                                   const std::vector<AnnotatedPath>& paths,
+                                   const SolverOptions& options)
+    : impl_(std::make_unique<Impl>(g_plus, s, t)) {
+  impl_->path_edges.reserve(paths.size());
+  for (const AnnotatedPath& path : paths) {
+    impl_->path_edges.push_back(impl_->universe.AddPath(path.path));
+  }
+  impl_->bank = std::make_unique<WorldBank>(
+      impl_->universe.graph(),
+      WorldBank::Options{.num_samples = options.num_samples,
+                         .seed = options.seed ^ kWorldBankSalt,
+                         .num_threads = options.num_threads});
+  impl_->path_up.reserve(paths.size());
+  for (const std::vector<EdgeId>& edges : impl_->path_edges) {
+    impl_->path_up.push_back(impl_->bank->WorldsWithAllEdges(edges));
+  }
+  impl_->edge_epoch.assign(impl_->universe.num_edges(), 0);
+  impl_->reach.assign(impl_->universe.num_nodes(),
+                      std::vector<uint64_t>(impl_->bank->world_words(), 0));
+}
+
+PathSetEvaluator::~PathSetEvaluator() = default;
+
+double PathSetEvaluator::Reliability(const std::vector<int>& selected,
+                                     int extra) {
+  Impl& impl = *impl_;
+  const int num_worlds = impl.bank->num_worlds();
+  impl.active.clear();
+  ++impl.epoch;
+  for (std::vector<uint64_t>& bits : impl.reach) {
+    std::fill(bits.begin(), bits.end(), 0);
+  }
+  // Fast path: worlds where some selected path is fully up are connected
+  // without any propagation — MergePath ORs them straight into reach[t].
+  for (int i : selected) impl.MergePath(i);
+  if (extra >= 0) impl.MergePath(extra);
+  const NodeId t = impl.universe.t();
+  const int64_t seeded =
+      WorldBank::CountBits(impl.reach[t], static_cast<size_t>(num_worlds));
+  if (seeded < num_worlds) {
+    // Word-parallel sweeps settle the remaining worlds, where only a
+    // combination of partial paths can connect s to t.
+    impl.bank->ReachabilityFixpoint(impl.universe.s(), /*backward=*/false,
+                                    impl.active, &impl.reach);
+  }
+  return static_cast<double>(WorldBank::CountBits(
+             impl.reach[t], static_cast<size_t>(num_worlds))) /
+         num_worlds;
 }
 
 namespace {
@@ -273,7 +372,8 @@ double AggregateMatrix(const std::vector<std::vector<double>>& matrix,
     case Aggregate::kMaximum:
       return mx;
   }
-  return 0.0;
+  // Exhaustive above; a corrupt enum value must not silently read as 0.0.
+  internal::CheckFailed("unhandled Aggregate", __FILE__, __LINE__);
 }
 
 }  // namespace relmax

@@ -1,6 +1,7 @@
 #ifndef RELMAX_CORE_EVALUATE_H_
 #define RELMAX_CORE_EVALUATE_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/types.h"
@@ -8,6 +9,8 @@
 #include "paths/most_reliable_path.h"
 
 namespace relmax {
+
+struct AnnotatedPath;  // core/selection.h
 
 /// Estimates R(s, t, g) with the estimator selected in `options` (MC or RSS)
 /// at `options.num_samples` samples. `seed_salt` decorrelates repeated
@@ -37,12 +40,19 @@ class PathUnionSubgraph {
   /// `base` supplies edge probabilities; paths refer to base node ids.
   PathUnionSubgraph(const UncertainGraph& base, NodeId s, NodeId t);
 
-  /// Adds every edge of `path` (ignores edges already present). Node ids are
-  /// remapped lazily.
-  void AddPath(const PathResult& path);
+  /// Adds every edge of `path` (edges already present are shared, not
+  /// duplicated). Node ids are remapped lazily. Returns the path's edge ids
+  /// in the compact graph, in path order.
+  std::vector<EdgeId> AddPath(const PathResult& path);
 
   /// R(s, t) on the current union, with the configured estimator.
   double Reliability(const SolverOptions& options, uint64_t seed_salt) const;
+
+  /// The compact union graph; grows as paths are added.
+  const UncertainGraph& graph() const { return graph_; }
+  /// s and t in compact ids.
+  NodeId s() const { return s_; }
+  NodeId t() const { return t_; }
 
   size_t num_nodes() const { return graph_.num_nodes(); }
   size_t num_edges() const { return graph_.num_edges(); }
@@ -55,6 +65,38 @@ class PathUnionSubgraph {
   std::vector<NodeId> remap_;  // base id -> compact id (kInvalidNode = none)
   NodeId s_;
   NodeId t_;
+};
+
+/// Shared-possible-world evaluator for the BE/IP selection inner loop
+/// (SolverOptions::reuse_worlds).
+///
+/// Builds the union subgraph of **all** annotated paths once — the edge
+/// universe, small by construction (≤ top-l short paths) — and samples
+/// `options.num_samples` worlds over it into a WorldBank. Evaluating a path
+/// set then draws no random numbers: worlds where some selected path is
+/// fully up are connected for free (an OR of per-path precomputed world
+/// bitsets), and only the remaining worlds run a BFS over the bank's bit
+/// rows restricted to the selected paths' edges. Every candidate in every
+/// round is scored against the same worlds (common random numbers), which
+/// both removes the dominant re-sampling cost and makes greedy marginal-gain
+/// comparisons consistent within a round.
+class PathSetEvaluator {
+ public:
+  PathSetEvaluator(const UncertainGraph& g_plus, NodeId s, NodeId t,
+                   const std::vector<AnnotatedPath>& paths,
+                   const SolverOptions& options);
+  ~PathSetEvaluator();
+
+  PathSetEvaluator(const PathSetEvaluator&) = delete;
+  PathSetEvaluator& operator=(const PathSetEvaluator&) = delete;
+
+  /// R(s, t) on the union subgraph of paths[i] for i in `selected`, plus
+  /// paths[extra] when extra >= 0. Deterministic given construction.
+  double Reliability(const std::vector<int>& selected, int extra = -1);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
 };
 
 /// Pairwise reliability matrix R(s_i, t_j) over shared sampled worlds —

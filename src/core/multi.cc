@@ -240,10 +240,15 @@ StatusOr<MultiSolution> MaximizeMultiReliability(
   if (options.budget_k <= 0) {
     return Status::InvalidArgument("budget_k must be positive");
   }
-  if (aggregate == Aggregate::kAverage) {
-    return SolveAverage(g, sources, targets, options);
+  switch (aggregate) {
+    case Aggregate::kAverage:
+      return SolveAverage(g, sources, targets, options);
+    case Aggregate::kMinimum:
+    case Aggregate::kMaximum:
+      return SolveExtreme(g, sources, targets, aggregate, options, batch_k1);
   }
-  return SolveExtreme(g, sources, targets, aggregate, options, batch_k1);
+  // Exhaustive above; a corrupt enum value must not silently pick a solver.
+  internal::CheckFailed("unhandled Aggregate", __FILE__, __LINE__);
 }
 
 }  // namespace relmax

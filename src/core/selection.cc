@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <set>
 #include <unordered_map>
 
@@ -15,7 +16,9 @@ uint64_t PairKey(const UncertainGraph& g, NodeId u, NodeId v) {
   return (static_cast<uint64_t>(u) << 32) | v;
 }
 
-// Evaluates R(s, t) on the union subgraph of the given annotated paths.
+// Evaluates R(s, t) on the union subgraph of the given annotated paths by
+// re-sampling fresh worlds (the reuse_worlds = false path; also the RSS
+// estimator, whose stratified streams a shared world bank cannot replay).
 double EvalPathSet(const UncertainGraph& g_plus, NodeId s, NodeId t,
                    const std::vector<AnnotatedPath>& paths,
                    const std::vector<int>& selected, int extra,
@@ -24,6 +27,17 @@ double EvalPathSet(const UncertainGraph& g_plus, NodeId s, NodeId t,
   for (int i : selected) subgraph.AddPath(paths[i].path);
   if (extra >= 0) subgraph.AddPath(paths[extra].path);
   return subgraph.Reliability(options, salt);
+}
+
+// One shared world set per solve when the options ask for it (and the
+// estimator can honor it); nullptr falls back to per-evaluation sampling.
+std::unique_ptr<PathSetEvaluator> MakeSharedEvaluator(
+    const UncertainGraph& g_plus, NodeId s, NodeId t,
+    const std::vector<AnnotatedPath>& paths, const SolverOptions& options) {
+  if (!options.reuse_worlds || options.estimator != Estimator::kMonteCarlo) {
+    return nullptr;
+  }
+  return std::make_unique<PathSetEvaluator>(g_plus, s, t, paths, options);
 }
 
 }  // namespace
@@ -74,6 +88,8 @@ std::vector<int> SelectEdgesByIndividualPaths(
     const UncertainGraph& g_plus, NodeId s, NodeId t,
     const std::vector<AnnotatedPath>& paths, const SolverOptions& options) {
   const int k = options.budget_k;
+  std::unique_ptr<PathSetEvaluator> shared =
+      MakeSharedEvaluator(g_plus, s, t, paths, options);
   std::set<int> chosen_edges;
   std::vector<int> selected;  // path indices forming P1
   std::vector<char> used(paths.size(), 0);
@@ -101,7 +117,9 @@ std::vector<int> SelectEdgesByIndividualPaths(
         continue;
       }
       const double rel =
-          EvalPathSet(g_plus, s, t, paths, selected, i, options, round);
+          shared != nullptr
+              ? shared->Reliability(selected, i)
+              : EvalPathSet(g_plus, s, t, paths, selected, i, options, round);
       if (rel > best_rel) {
         best_rel = rel;
         best = i;
@@ -197,9 +215,12 @@ std::vector<int> SelectEdgesByPathBatchesObjective(
 std::vector<int> SelectEdgesByPathBatches(
     const UncertainGraph& g_plus, NodeId s, NodeId t,
     const std::vector<AnnotatedPath>& paths, const SolverOptions& options) {
+  const std::unique_ptr<PathSetEvaluator> shared =
+      MakeSharedEvaluator(g_plus, s, t, paths, options);
   return SelectEdgesByPathBatchesObjective(
       paths, options.budget_k,
       [&](const std::vector<int>& selected, uint64_t salt) {
+        if (shared != nullptr) return shared->Reliability(selected);
         return EvalPathSet(g_plus, s, t, paths, selected, -1, options, salt);
       });
 }

@@ -66,6 +66,12 @@ StatusOr<Solution> MaximizeReliability(const UncertainGraph& g, NodeId s,
   if (s >= g.num_nodes() || t >= g.num_nodes()) {
     return Status::OutOfRange("query node out of range");
   }
+  if (s == t) {
+    // Degenerate query: skip candidate elimination entirely — the answer is
+    // known and paying the full elimination pass for it would be pure waste.
+    return MaximizeReliabilityWithCandidates(g, s, t, CandidateSet{}, options,
+                                             method);
+  }
   WallTimer elimination_timer;
   auto candidates = SelectCandidates(g, s, t, options);
   RELMAX_RETURN_IF_ERROR(candidates.status());
@@ -96,6 +102,10 @@ StatusOr<Solution> MaximizeReliabilityWithCandidates(
     Solution solution;
     solution.reliability_before = 1.0;
     solution.reliability_after = 1.0;
+    // Stats must stay populated on every return path — harness code reads
+    // peak_rss_bytes / candidate_edges unconditionally.
+    solution.stats.candidate_edges = candidates.edges.size();
+    solution.stats.peak_rss_bytes = PeakRssBytes();
     return solution;
   }
 

@@ -30,7 +30,7 @@ inline const char* CoreMethodName(CoreMethod method) {
     case CoreMethod::kMostReliablePath:
       return "MRP";
   }
-  return "?";
+  internal::CheckFailed("unhandled CoreMethod", __FILE__, __LINE__);
 }
 
 /// Solves the single-source-target budgeted reliability maximization problem

@@ -2,8 +2,44 @@
 
 #include <cstdio>
 #include <cstring>
+#include <string>
 
 namespace relmax {
+namespace {
+
+/// Longest accepted input line. Far beyond any legitimate edge record; the
+/// cap keeps a stray binary file from ballooning memory before failing.
+constexpr size_t kMaxLineBytes = 1 << 20;
+
+enum class LineResult { kOk, kEof, kTooLong, kNulByte };
+
+// Reads one line of arbitrary length (growing *line as needed) and strips
+// the trailing "\n" or "\r\n" — files written on Windows parse identically.
+// A line longer than kMaxLineBytes reports kTooLong instead of being
+// silently split into bogus records; a NUL byte (fgets reports data strlen
+// cannot see past — a binary file) reports kNulByte instead of merging
+// records.
+LineResult ReadLine(FILE* f, std::string* line) {
+  line->clear();
+  char chunk[256];
+  while (std::fgets(chunk, sizeof(chunk), f) != nullptr) {
+    const size_t len = std::strlen(chunk);
+    if (len == 0) return LineResult::kNulByte;
+    line->append(chunk, len);
+    if (line->size() > kMaxLineBytes) return LineResult::kTooLong;
+    if (line->back() == '\n') break;
+    // fgets only stops early at a newline or EOF; a short chunk without
+    // either means an embedded NUL truncated strlen mid-chunk.
+    if (len < sizeof(chunk) - 1 && !std::feof(f)) return LineResult::kNulByte;
+  }
+  if (line->empty()) return LineResult::kEof;
+  while (!line->empty() && (line->back() == '\n' || line->back() == '\r')) {
+    line->pop_back();
+  }
+  return LineResult::kOk;
+}
+
+}  // namespace
 
 Status WriteEdgeList(const UncertainGraph& g, const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "w");
@@ -23,18 +59,30 @@ StatusOr<UncertainGraph> ReadEdgeList(const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "r");
   if (f == nullptr) return Status::IoError("cannot open for read: " + path);
 
-  char line[256];
+  std::string line;
   bool have_header = false;
   bool directed = false;
   unsigned num_nodes = 0;
   UncertainGraph g = UncertainGraph::Directed(0);
   int line_no = 0;
-  while (std::fgets(line, sizeof(line), f) != nullptr) {
+  LineResult read;
+  while ((read = ReadLine(f, &line)) != LineResult::kEof) {
     ++line_no;
-    if (line[0] == '#' || line[0] == '\n') continue;
+    if (read == LineResult::kTooLong) {
+      std::fclose(f);
+      return Status::InvalidArgument("line too long at line " +
+                                     std::to_string(line_no));
+    }
+    if (read == LineResult::kNulByte) {
+      std::fclose(f);
+      return Status::InvalidArgument("NUL byte at line " +
+                                     std::to_string(line_no) +
+                                     " (binary file?)");
+    }
+    if (line.empty() || line[0] == '#') continue;
     if (!have_header) {
       char kind[32];
-      if (std::sscanf(line, "%31s %u", kind, &num_nodes) != 2) {
+      if (std::sscanf(line.c_str(), "%31s %u", kind, &num_nodes) != 2) {
         std::fclose(f);
         return Status::InvalidArgument("bad header at line " +
                                        std::to_string(line_no));
@@ -56,7 +104,7 @@ StatusOr<UncertainGraph> ReadEdgeList(const std::string& path) {
     unsigned u = 0;
     unsigned v = 0;
     double p = 0.0;
-    if (std::sscanf(line, "%u %u %lf", &u, &v, &p) != 3) {
+    if (std::sscanf(line.c_str(), "%u %u %lf", &u, &v, &p) != 3) {
       std::fclose(f);
       return Status::InvalidArgument("bad edge at line " +
                                      std::to_string(line_no));

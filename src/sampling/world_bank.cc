@@ -1,0 +1,138 @@
+#include "sampling/world_bank.h"
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "sampling/parallel.h"
+
+namespace relmax {
+
+WorldBank::WorldBank(const UncertainGraph& universe, const Options& options)
+    : universe_(universe),
+      num_worlds_(options.num_samples),
+      world_words_((static_cast<size_t>(options.num_samples) + 63) / 64),
+      up_(universe.num_edges(), std::vector<uint64_t>(
+                                    (static_cast<size_t>(options.num_samples) +
+                                     63) /
+                                    64,
+                                    0)) {
+  RELMAX_CHECK(options.num_samples > 0);
+  // Shard i covers worlds [i * kShardSamples, …): with kShardSamples == 64
+  // that is exactly bit-word i of every edge row, so shards never touch the
+  // same word and the fill is race-free without atomics.
+  static_assert(kShardSamples == 64,
+                "WorldBank's word-per-shard fill requires 64-world shards");
+  const size_t num_edges = universe.num_edges();
+  const std::vector<SampleShard> shards =
+      MakeSampleShards(options.num_samples, options.seed);
+  ForEachShard(
+      shards.size(), options.num_threads,
+      [] { return std::make_unique<Rng>(0); },
+      [&](std::unique_ptr<Rng>& rng, size_t i) {
+        rng->Reseed(shards[i].seed);
+        const size_t word = static_cast<size_t>(shards[i].index);
+        for (int sample = 0; sample < shards[i].num_samples; ++sample) {
+          const uint64_t bit = uint64_t{1} << sample;
+          for (size_t e = 0; e < num_edges; ++e) {
+            if (rng->NextBernoulli(
+                    universe.EdgeById(static_cast<EdgeId>(e)).prob)) {
+              up_[e][word] |= bit;
+            }
+          }
+        }
+      },
+      [](std::unique_ptr<Rng>&) {});
+}
+
+std::vector<uint64_t> WorldBank::WorldsWithAllEdges(
+    const std::vector<EdgeId>& edges) const {
+  std::vector<uint64_t> all(world_words_, ~uint64_t{0});
+  // Clear the tail bits beyond num_worlds so counts stay exact.
+  if (num_worlds_ & 63) {
+    all.back() = (uint64_t{1} << (num_worlds_ & 63)) - 1;
+  }
+  for (EdgeId e : edges) {
+    const std::vector<uint64_t>& up = up_[e];
+    for (size_t w = 0; w < world_words_; ++w) all[w] &= up[w];
+  }
+  return all;
+}
+
+void WorldBank::ReachabilityFixpoint(
+    NodeId source, bool backward, const std::vector<EdgeId>& active,
+    std::vector<std::vector<uint64_t>>* reach) const {
+  RELMAX_CHECK(source < universe_.num_nodes());
+  if (reach->size() != universe_.num_nodes()) {
+    reach->assign(universe_.num_nodes(),
+                  std::vector<uint64_t>(world_words_, 0));
+  }
+  std::vector<uint64_t>& at_source = (*reach)[source];
+  for (size_t w = 0; w < world_words_; ++w) at_source[w] = ~uint64_t{0};
+  if (num_worlds_ & 63) {
+    at_source.back() = (uint64_t{1} << (num_worlds_ & 63)) - 1;
+  }
+
+  // Word-parallel Bellman-Ford-style sweeps: one pass relaxes every active
+  // edge for all 64-world lanes at once; convergence takes ~(1 + number of
+  // hops any reachability fact must travel against the edge order) passes —
+  // near 2 when `active` is in path order.
+  const bool undirected = !universe_.directed();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (EdgeId e : active) {
+      const Edge& edge = universe_.EdgeById(e);
+      const std::vector<uint64_t>& up = up_[e];
+      NodeId from = edge.src;
+      NodeId to = edge.dst;
+      if (backward && !undirected) std::swap(from, to);
+      for (int dir = 0; dir < (undirected ? 2 : 1); ++dir) {
+        const std::vector<uint64_t>& src_bits = (*reach)[from];
+        std::vector<uint64_t>& dst_bits = (*reach)[to];
+        for (size_t w = 0; w < world_words_; ++w) {
+          const uint64_t add = src_bits[w] & up[w] & ~dst_bits[w];
+          if (add != 0) {
+            dst_bits[w] |= add;
+            changed = true;
+          }
+        }
+        std::swap(from, to);
+      }
+    }
+  }
+}
+
+double WorldBank::ConnectedFraction(
+    NodeId s, NodeId t, const std::vector<EdgeId>& active,
+    std::vector<uint64_t> seed_connected) const {
+  RELMAX_CHECK(t < universe_.num_nodes());
+  std::vector<std::vector<uint64_t>> reach;
+  ReachabilityFixpoint(s, /*backward=*/false, active, &reach);
+  if (seed_connected.empty()) seed_connected.assign(world_words_, 0);
+  for (size_t w = 0; w < world_words_; ++w) {
+    seed_connected[w] |= reach[t][w];
+  }
+  return static_cast<double>(
+             CountBits(seed_connected, static_cast<size_t>(num_worlds_))) /
+         num_worlds_;
+}
+
+std::vector<EdgeId> WorldBank::AllEdges() const {
+  std::vector<EdgeId> edges(universe_.num_edges());
+  for (size_t e = 0; e < edges.size(); ++e) edges[e] = static_cast<EdgeId>(e);
+  return edges;
+}
+
+int64_t WorldBank::CountBits(const std::vector<uint64_t>& bits, size_t limit) {
+  int64_t count = 0;
+  for (size_t word = 0; word * 64 < limit && word < bits.size(); ++word) {
+    uint64_t value = bits[word];
+    const size_t remaining = limit - word * 64;
+    if (remaining < 64) value &= (uint64_t{1} << remaining) - 1;
+    count += __builtin_popcountll(value);
+  }
+  return count;
+}
+
+}  // namespace relmax

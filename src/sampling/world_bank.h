@@ -1,0 +1,99 @@
+#ifndef RELMAX_SAMPLING_WORLD_BANK_H_
+#define RELMAX_SAMPLING_WORLD_BANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// A bank of Z possible worlds sampled **once** over a (small) graph's edge
+/// universe, stored as an edges × worlds presence bit-matrix.
+///
+/// Greedy selection loops (BE/IP, hill climbing) estimate reliability on many
+/// near-identical subgraphs of one universe; re-sampling worlds for every
+/// (round × candidate) pair makes sampling the dominant cost. A WorldBank
+/// pays the RNG cost once and evaluates connectivity for **all worlds at
+/// once**: reachability is iterated to fixpoint with word-parallel bit
+/// operations (`reach[v] |= reach[u] & up[e]`), so one machine word carries
+/// 64 worlds and no per-world BFS ever runs. Because every candidate is
+/// scored against the same worlds (common random numbers), greedy
+/// marginal-gain comparisons within a round share sampling noise.
+///
+/// Determinism: the matrix is filled by the counter-seeded sharded executor
+/// (sampling/parallel.h). Shard `i` owns worlds [i * kShardSamples, …) —
+/// exactly bit-word `i` of every edge row, since kShardSamples == 64 — and
+/// draws them from the stream seeded by ShardSeed(seed, i), so every bit is
+/// a pure function of (num_samples, seed): **bit-identical for any
+/// num_threads**. The bank is immutable after construction and safe to read
+/// from multiple threads.
+class WorldBank {
+ public:
+  struct Options {
+    int num_samples = 500;
+    uint64_t seed = 42;
+    /// Lanes used only while filling the matrix; <= 0 means all hardware
+    /// threads. The stored bits do not depend on it.
+    int num_threads = 1;
+  };
+
+  /// Samples `options.num_samples` worlds over `universe`'s edges. The
+  /// universe graph must outlive the bank.
+  WorldBank(const UncertainGraph& universe, const Options& options);
+
+  int num_worlds() const { return num_worlds_; }
+  const UncertainGraph& universe() const { return universe_; }
+
+  /// Words in a world-indexed bitset (ceil(num_worlds / 64)).
+  size_t world_words() const { return world_words_; }
+
+  /// World-indexed bitset: the worlds in which logical edge `e` exists.
+  const std::vector<uint64_t>& EdgeUpWorlds(EdgeId e) const { return up_[e]; }
+
+  /// Presence of logical edge `e` in world `w`.
+  bool EdgePresent(int w, EdgeId e) const {
+    return (up_[e][static_cast<size_t>(w) >> 6] >> (w & 63)) & 1u;
+  }
+
+  /// World-indexed bitset with bit w set iff **every** edge in `edges` is
+  /// present in world w — e.g. the worlds where a whole path is up.
+  std::vector<uint64_t> WorldsWithAllEdges(
+      const std::vector<EdgeId>& edges) const;
+
+  /// Computes, for every world simultaneously, which nodes are reachable
+  /// from `source` using only `active` edges that are up in that world:
+  /// on return `(*reach)[v]` bit w is set iff v is reachable in world w.
+  /// With `backward`, directed graphs propagate against arc direction
+  /// (reachability *to* `source`). `*reach` is resized to num_nodes; any
+  /// pre-set bits are kept and treated as already-reached facts — seed
+  /// `(*reach)[t]` with OR-ed per-path WorldsWithAllEdges bitsets as a fast
+  /// path. Iterating `active` in rough path order converges in ~2 passes.
+  void ReachabilityFixpoint(NodeId source, bool backward,
+                            const std::vector<EdgeId>& active,
+                            std::vector<std::vector<uint64_t>>* reach) const;
+
+  /// Convenience: fraction of worlds where t is reachable from s over the
+  /// `active` edges (R(s, t) restricted to that edge subset), with
+  /// `seed_connected` (may be empty) as trusted already-connected worlds.
+  double ConnectedFraction(NodeId s, NodeId t,
+                           const std::vector<EdgeId>& active,
+                           std::vector<uint64_t> seed_connected) const;
+
+  /// All universe edge ids, in id (insertion) order.
+  std::vector<EdgeId> AllEdges() const;
+
+  /// Popcount of a bitset, counting only bits below `limit`.
+  static int64_t CountBits(const std::vector<uint64_t>& bits, size_t limit);
+
+ private:
+  const UncertainGraph& universe_;
+  int num_worlds_;
+  size_t world_words_;
+  /// up_[e] = world bitset for edge e (bits beyond num_worlds stay zero).
+  std::vector<std::vector<uint64_t>> up_;
+};
+
+}  // namespace relmax
+
+#endif  // RELMAX_SAMPLING_WORLD_BANK_H_

@@ -224,6 +224,44 @@ TEST(GreedyTest, ValidatesArguments) {
       StatusCode::kInvalidArgument);
 }
 
+TEST(GreedyTest, InvalidCandidatesAreRejectedLoudly) {
+  // Regression: a candidate AugmentGraph rejects (self-loop, out-of-range
+  // endpoint, bad probability) used to be silently scored as gain 0 in
+  // release builds — and, with reuse_worlds on, looked up with an unchecked
+  // EdgeIndexOf dereference. Both baselines must refuse such input instead.
+  GreedyFixture fx;
+  for (const bool reuse : {true, false}) {
+    SolverOptions options = FastOptions(2);
+    options.reuse_worlds = reuse;
+    auto with_bad = [&](Edge bad) {
+      std::vector<Edge> candidates = fx.candidates;
+      candidates.push_back(bad);
+      return candidates;
+    };
+    EXPECT_EQ(SelectHillClimbing(fx.g, 0, 3, with_bad({2, 2, 0.5}), options)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "reuse_worlds = " << reuse;
+    EXPECT_EQ(SelectIndividualTopK(fx.g, 0, 3, with_bad({2, 9, 0.5}), options)
+                  .status()
+                  .code(),
+              StatusCode::kOutOfRange)
+        << "reuse_worlds = " << reuse;
+    EXPECT_EQ(SelectHillClimbing(fx.g, 0, 3, with_bad({2, 3, 1.5}), options)
+                  .status()
+                  .code(),
+              StatusCode::kInvalidArgument)
+        << "reuse_worlds = " << reuse;
+    // Valid candidates still solve identically.
+    auto hill = SelectHillClimbing(fx.g, 0, 3, fx.candidates, options);
+    ASSERT_TRUE(hill.ok()) << "reuse_worlds = " << reuse;
+    ASSERT_EQ(hill->size(), 2u);
+    EXPECT_EQ((*hill)[0].src, 0u);  // the dominant direct edge still wins
+    EXPECT_EQ((*hill)[0].dst, 3u);
+  }
+}
+
 TEST(GreedyTest, MultiAggregateObjective) {
   GreedyFixture fx;
   auto chosen = SelectHillClimbingMulti(fx.g, {0}, {3}, Aggregate::kAverage,

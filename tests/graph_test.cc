@@ -231,6 +231,86 @@ TEST(GraphIoTest, RoundTripUndirected) {
   std::remove(path.c_str());
 }
 
+TEST(GraphIoTest, ReadsCrlfFiles) {
+  // Regression: CRLF line endings (Windows-written edge lists) used to fail
+  // — a "\r\n" blank line was not skipped and edge lines kept a trailing
+  // '\r'. Both must parse identically to LF files.
+  const std::string path = testing::TempDir() + "/relmax_io_crlf.graph";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("# comment\r\n", f);
+  fputs("directed 4\r\n", f);
+  fputs("\r\n", f);  // blank line (just CRLF) must be skipped
+  fputs("0 1 0.25\r\n", f);
+  fputs("2 3 0.75\r\n", f);
+  fclose(f);
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->directed());
+  EXPECT_EQ(loaded->num_nodes(), 4u);
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->EdgeProb(0, 1).value(), 0.25);
+  EXPECT_DOUBLE_EQ(loaded->EdgeProb(2, 3).value(), 0.75);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ReadsLinesLongerThanLegacyBuffer) {
+  // Regression: lines over 255 chars used to be split into two bogus
+  // records by the fixed fgets buffer. Pad an edge record and a comment far
+  // past that length; both must parse as single lines.
+  const std::string path = testing::TempDir() + "/relmax_io_long.graph";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("# ", f);
+  for (int i = 0; i < 600; ++i) fputc('x', f);
+  fputs("\ndirected 3\n", f);
+  fputs("0 1 0.5", f);
+  for (int i = 0; i < 600; ++i) fputc(' ', f);
+  fputs("\n1 2 0.5\n", f);
+  fclose(f);
+  auto loaded = ReadEdgeList(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(loaded->EdgeProb(0, 1).value(), 0.5);
+  EXPECT_DOUBLE_EQ(loaded->EdgeProb(1, 2).value(), 0.5);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RejectsAbsurdlyLongLines) {
+  // The reader grows its buffer for legitimate long lines but refuses
+  // multi-megabyte ones (e.g. a binary file fed by mistake).
+  const std::string path = testing::TempDir() + "/relmax_io_huge.graph";
+  FILE* f = fopen(path.c_str(), "w");
+  fputs("directed 2\n# ", f);
+  for (int i = 0; i < (2 << 20); ++i) fputc('y', f);
+  fputs("\n", f);
+  fclose(f);
+  EXPECT_EQ(ReadEdgeList(path).status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RejectsNulBytes) {
+  // A binary file fed by mistake must error, not be silently merged into
+  // truncated records (fgets reports NUL-containing data strlen can't see
+  // past). Cover a leading NUL and a mid-line NUL.
+  const std::string path = testing::TempDir() + "/relmax_io_nul.graph";
+  for (const bool leading : {true, false}) {
+    FILE* f = fopen(path.c_str(), "wb");
+    fputs("directed 2\n", f);
+    if (leading) {
+      fputc('\0', f);
+      fputs("0 1 0.5\n", f);
+    } else {
+      fputs("0 1", f);
+      fputc('\0', f);
+      fputs(" 0.5\n", f);
+    }
+    fclose(f);
+    EXPECT_EQ(ReadEdgeList(path).status().code(),
+              StatusCode::kInvalidArgument)
+        << "leading = " << leading;
+  }
+  std::remove(path.c_str());
+}
+
 TEST(GraphIoTest, MissingFile) {
   EXPECT_EQ(ReadEdgeList("/nonexistent/graph.txt").status().code(),
             StatusCode::kIoError);

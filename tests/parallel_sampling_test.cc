@@ -1,11 +1,15 @@
 // Determinism and accuracy of the batched parallel sampling runtime: a fixed
 // seed must give bit-identical estimates for any thread count, and the
-// estimates must still track the exact factoring oracle.
+// estimates must still track the exact factoring oracle. The same contract
+// covers WorldBank-backed solves (reuse_worlds): selected edges and reported
+// reliabilities must not depend on num_threads.
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "baselines/greedy.h"
 #include "core/evaluate.h"
+#include "core/solver.h"
 #include "graph/exact_reliability.h"
 #include "graph/uncertain_graph.h"
 #include "sampling/parallel.h"
@@ -208,6 +212,64 @@ TEST(ParallelEvaluateTest, InfluenceSpreadBitIdenticalAcrossThreadCounts) {
     EXPECT_EQ(InfluenceSpread(g, {0}, {1, 2, 3}, 6000, 19, threads),
               reference)
         << "num_threads = " << threads;
+  }
+}
+
+TEST(WorldBankSolveTest, BeIpSolvesBitIdenticalAcrossThreadCounts) {
+  const UncertainGraph g = BridgeGraph();
+  CandidateSet candidates;
+  candidates.edges = {{0, 3, 0.5}, {1, 4, 0.5}, {2, 5, 0.5}, {0, 4, 0.5}};
+  for (CoreMethod method :
+       {CoreMethod::kBatchEdges, CoreMethod::kIndividualPaths}) {
+    SolverOptions options;
+    options.budget_k = 2;
+    options.num_samples = 3000;
+    options.seed = 23;
+    options.reuse_worlds = true;
+    options.num_threads = 1;
+    const auto reference =
+        MaximizeReliabilityWithCandidates(g, 0, 5, candidates, options,
+                                          method);
+    ASSERT_TRUE(reference.ok());
+    EXPECT_FALSE(reference->added_edges.empty());
+    for (int threads : kThreadCounts) {
+      options.num_threads = threads;
+      const auto solution =
+          MaximizeReliabilityWithCandidates(g, 0, 5, candidates, options,
+                                            method);
+      ASSERT_TRUE(solution.ok());
+      EXPECT_EQ(solution->added_edges, reference->added_edges)
+          << CoreMethodName(method) << " num_threads = " << threads;
+      EXPECT_EQ(solution->reliability_after, reference->reliability_after)
+          << CoreMethodName(method) << " num_threads = " << threads;
+    }
+  }
+}
+
+TEST(WorldBankSolveTest, GreedyBaselinesBitIdenticalAcrossThreadCounts) {
+  const UncertainGraph g = BridgeGraph();
+  const std::vector<Edge> candidates = {
+      {0, 3, 0.5}, {1, 4, 0.5}, {2, 5, 0.5}, {0, 4, 0.5}};
+  SolverOptions options;
+  options.budget_k = 2;
+  options.num_samples = 3000;
+  options.seed = 29;
+  options.reuse_worlds = true;
+  options.num_threads = 1;
+  const auto hill_reference = SelectHillClimbing(g, 0, 5, candidates, options);
+  const auto topk_reference = SelectIndividualTopK(g, 0, 5, candidates,
+                                                   options);
+  ASSERT_TRUE(hill_reference.ok());
+  ASSERT_TRUE(topk_reference.ok());
+  EXPECT_EQ(hill_reference->size(), 2u);
+  for (int threads : kThreadCounts) {
+    options.num_threads = threads;
+    const auto hill = SelectHillClimbing(g, 0, 5, candidates, options);
+    const auto topk = SelectIndividualTopK(g, 0, 5, candidates, options);
+    ASSERT_TRUE(hill.ok());
+    ASSERT_TRUE(topk.ok());
+    EXPECT_EQ(*hill, *hill_reference) << "num_threads = " << threads;
+    EXPECT_EQ(*topk, *topk_reference) << "num_threads = " << threads;
   }
 }
 

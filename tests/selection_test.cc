@@ -144,6 +144,42 @@ TEST(SelectionTest, LargeBudgetTakesEverythingUseful) {
   EXPECT_EQ(chosen, (std::vector<int>{0, 1, 2}));
 }
 
+// Parity pin for SolverOptions::reuse_worlds: at an adequate (equal) sample
+// budget the shared-world evaluator and per-evaluation re-sampling must make
+// the same greedy decisions. Example 3's gaps (0.25 vs 0.3075) are far wider
+// than sampling noise at Z = 4000, so the chosen sets are required to be
+// identical, not merely close; estimator-level estimates legitimately differ
+// (different world streams), which is why the pin is on decisions.
+TEST(SelectionTest, ReuseWorldsOnAndOffAgreeOnExample3) {
+  Example3 ex;
+  for (const bool reuse : {true, false}) {
+    SolverOptions options = EvalOptions();
+    options.reuse_worlds = reuse;
+    EXPECT_EQ(SelectEdgesByIndividualPaths(ex.g_plus, Example3::kS,
+                                           Example3::kT, ex.annotated,
+                                           options),
+              (std::vector<int>{0, 2}))
+        << "reuse_worlds = " << reuse;
+    EXPECT_EQ(SelectEdgesByPathBatches(ex.g_plus, Example3::kS, Example3::kT,
+                                       ex.annotated, options),
+              (std::vector<int>{1, 2}))
+        << "reuse_worlds = " << reuse;
+  }
+}
+
+TEST(SelectionTest, ReuseWorldsRepeatedEvaluationIsDeterministic) {
+  // The shared evaluator draws no RNG in the greedy loop, so re-running the
+  // whole selection must be exactly reproducible.
+  Example3 ex;
+  SolverOptions options = EvalOptions();
+  options.reuse_worlds = true;
+  const std::vector<int> first = SelectEdgesByPathBatches(
+      ex.g_plus, Example3::kS, Example3::kT, ex.annotated, options);
+  const std::vector<int> second = SelectEdgesByPathBatches(
+      ex.g_plus, Example3::kS, Example3::kT, ex.annotated, options);
+  EXPECT_EQ(first, second);
+}
+
 TEST(SelectionTest, NoPathsMeansNoEdges) {
   UncertainGraph g = UncertainGraph::Directed(3);
   const SolverOptions options = EvalOptions();

@@ -140,6 +140,54 @@ TEST(SolverTest, DegenerateAndInvalidQueries) {
             StatusCode::kInvalidArgument);
 }
 
+TEST(SolverTest, DegenerateQueryPopulatesStatsAndSkipsElimination) {
+  // Regression: the s == t early return used to come back with empty stats
+  // (no peak_rss_bytes), and MaximizeReliability still paid the full
+  // candidate-elimination pass for a query whose answer is fixed.
+  const UncertainGraph g = TwoClusters();
+  auto self = MaximizeReliability(g, 4, 4, FastOptions());
+  ASSERT_TRUE(self.ok());
+  EXPECT_DOUBLE_EQ(self->reliability_before, 1.0);
+  EXPECT_DOUBLE_EQ(self->reliability_after, 1.0);
+  EXPECT_GT(self->stats.peak_rss_bytes, 0u);
+  // Elimination is skipped entirely, not just timed at ~0.
+  EXPECT_DOUBLE_EQ(self->stats.elimination_seconds, 0.0);
+  EXPECT_EQ(self->stats.candidate_edges, 0u);
+
+  // The WithCandidates variant reports the caller's candidate count.
+  CandidateSet candidates;
+  candidates.edges = {{0, 11, 0.5}, {1, 10, 0.5}};
+  auto with = MaximizeReliabilityWithCandidates(g, 4, 4, candidates,
+                                                FastOptions());
+  ASSERT_TRUE(with.ok());
+  EXPECT_EQ(with->stats.candidate_edges, 2u);
+  EXPECT_GT(with->stats.peak_rss_bytes, 0u);
+}
+
+TEST(SolverTest, ReuseWorldsOnAndOffPickSameEdgesWhenGainsAreDistinct) {
+  // reuse_worlds parity pin at solver level: on the two-cluster fixture the
+  // useful shortcuts have clearly distinct marginal gains, so the shared
+  // world bank and per-evaluation re-sampling must select identical edges at
+  // an equal sample budget. (On workloads with exactly symmetric candidates
+  // the two modes may break such ties differently — that tolerance is
+  // documented in README and BENCH_selection.json.)
+  const UncertainGraph g = TwoClusters();
+  for (CoreMethod method :
+       {CoreMethod::kBatchEdges, CoreMethod::kIndividualPaths}) {
+    SolverOptions on = FastOptions();
+    on.num_samples = 4000;
+    on.reuse_worlds = true;
+    SolverOptions off = on;
+    off.reuse_worlds = false;
+    auto with = MaximizeReliability(g, 0, 11, on, method);
+    auto without = MaximizeReliability(g, 0, 11, off, method);
+    ASSERT_TRUE(with.ok() && without.ok());
+    EXPECT_FALSE(with->added_edges.empty());
+    EXPECT_EQ(with->added_edges, without->added_edges)
+        << CoreMethodName(method);
+  }
+}
+
 TEST(SolverTest, CustomCandidateSetWithPerEdgeProbabilities) {
   // Table 16 scenario: the caller supplies candidate edges with differing
   // probabilities instead of a fixed zeta.

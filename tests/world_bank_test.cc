@@ -1,0 +1,177 @@
+// WorldBank: the shared possible-world bit-matrix behind reuse_worlds. The
+// bank must be bit-identical for any fill thread count, its estimates must
+// track the exact factoring oracle, and the word-parallel reachability
+// fixpoint must agree with per-world brute force.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/exact_reliability.h"
+#include "graph/uncertain_graph.h"
+#include "sampling/world_bank.h"
+
+namespace relmax {
+namespace {
+
+UncertainGraph DiamondGraph() {
+  // s=0 -> {1, 2} -> t=3, all edges 0.5, plus a direct 0->3 edge at 0.2.
+  UncertainGraph g = UncertainGraph::Directed(4);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(1, 3, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 0.5).ok());
+  EXPECT_TRUE(g.AddEdge(0, 3, 0.2).ok());
+  return g;
+}
+
+UncertainGraph BridgeGraph() {
+  // Two triangles joined by a bridge edge 2-3 (undirected).
+  UncertainGraph g = UncertainGraph::Undirected(6);
+  EXPECT_TRUE(g.AddEdge(0, 1, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(1, 2, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(0, 2, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 0.6).ok());
+  EXPECT_TRUE(g.AddEdge(3, 4, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(4, 5, 0.7).ok());
+  EXPECT_TRUE(g.AddEdge(3, 5, 0.7).ok());
+  return g;
+}
+
+TEST(WorldBankTest, BitMatrixIdenticalAcrossThreadCounts) {
+  const UncertainGraph g = BridgeGraph();
+  WorldBank reference(g, {.num_samples = 1000, .seed = 7, .num_threads = 1});
+  for (int threads : {2, 8}) {
+    WorldBank bank(g, {.num_samples = 1000, .seed = 7,
+                       .num_threads = threads});
+    for (size_t e = 0; e < g.num_edges(); ++e) {
+      ASSERT_EQ(bank.EdgeUpWorlds(static_cast<EdgeId>(e)),
+                reference.EdgeUpWorlds(static_cast<EdgeId>(e)))
+          << "edge " << e << " threads " << threads;
+    }
+  }
+}
+
+TEST(WorldBankTest, ConnectedFractionTracksExactOracle) {
+  const UncertainGraph diamond = DiamondGraph();
+  const UncertainGraph bridge = BridgeGraph();
+  WorldBank diamond_bank(diamond,
+                         {.num_samples = 60000, .seed = 3, .num_threads = 4});
+  WorldBank bridge_bank(bridge,
+                        {.num_samples = 60000, .seed = 5, .num_threads = 4});
+  EXPECT_NEAR(
+      diamond_bank.ConnectedFraction(0, 3, diamond_bank.AllEdges(), {}),
+      ExactReliabilityFactoring(diamond, 0, 3).value(), 0.01);
+  EXPECT_NEAR(
+      bridge_bank.ConnectedFraction(0, 5, bridge_bank.AllEdges(), {}),
+      ExactReliabilityFactoring(bridge, 0, 5).value(), 0.01);
+}
+
+TEST(WorldBankTest, EdgeFrequenciesMatchProbabilities) {
+  const UncertainGraph g = DiamondGraph();
+  WorldBank bank(g, {.num_samples = 40000, .seed = 11, .num_threads = 2});
+  for (size_t e = 0; e < g.num_edges(); ++e) {
+    const int64_t up = WorldBank::CountBits(
+        bank.EdgeUpWorlds(static_cast<EdgeId>(e)),
+        static_cast<size_t>(bank.num_worlds()));
+    EXPECT_NEAR(static_cast<double>(up) / bank.num_worlds(),
+                g.EdgeById(static_cast<EdgeId>(e)).prob, 0.01)
+        << "edge " << e;
+  }
+}
+
+TEST(WorldBankTest, WorldsWithAllEdgesMatchesPerWorldScan) {
+  const UncertainGraph g = BridgeGraph();
+  WorldBank bank(g, {.num_samples = 500, .seed = 13, .num_threads = 1});
+  const std::vector<EdgeId> subset = {0, 1, 3};  // arbitrary edge subset
+  const std::vector<uint64_t> up = bank.WorldsWithAllEdges(subset);
+  for (int w = 0; w < bank.num_worlds(); ++w) {
+    bool all = true;
+    for (EdgeId e : subset) all = all && bank.EdgePresent(w, e);
+    EXPECT_EQ((up[w / 64] >> (w % 64)) & 1u, all ? 1u : 0u) << "world " << w;
+  }
+  // Guard bits beyond num_worlds must stay clear (500 is not a multiple of
+  // 64, so the last word has a tail).
+  EXPECT_EQ(WorldBank::CountBits(up, static_cast<size_t>(bank.num_worlds())),
+            WorldBank::CountBits(up, 64 * up.size()));
+}
+
+// Per-world reference: BFS over the edges present in world w.
+bool BruteForceConnects(const WorldBank& bank, const UncertainGraph& g, int w,
+                        NodeId s, NodeId t,
+                        const std::vector<EdgeId>& active) {
+  std::vector<char> edge_active(g.num_edges(), 0);
+  for (EdgeId e : active) edge_active[e] = 1;
+  std::vector<char> seen(g.num_nodes(), 0);
+  std::vector<NodeId> queue = {s};
+  seen[s] = 1;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    for (const Arc& arc : g.OutArcs(queue[head])) {
+      if (!edge_active[arc.edge_id] || !bank.EdgePresent(w, arc.edge_id) ||
+          seen[arc.to]) {
+        continue;
+      }
+      seen[arc.to] = 1;
+      queue.push_back(arc.to);
+    }
+  }
+  return seen[t];
+}
+
+TEST(WorldBankTest, ReachabilityFixpointMatchesPerWorldBfs) {
+  for (const UncertainGraph& g : {DiamondGraph(), BridgeGraph()}) {
+    const NodeId t = g.num_nodes() - 1;
+    WorldBank bank(g, {.num_samples = 300, .seed = 17, .num_threads = 1});
+    // Exercise a strict subset of edges too, not just the full universe.
+    std::vector<EdgeId> partial;
+    for (size_t e = 0; e + 1 < g.num_edges(); ++e) {
+      partial.push_back(static_cast<EdgeId>(e));
+    }
+    for (const std::vector<EdgeId>& active : {bank.AllEdges(), partial}) {
+      std::vector<std::vector<uint64_t>> reach;
+      bank.ReachabilityFixpoint(0, /*backward=*/false, active, &reach);
+      for (int w = 0; w < bank.num_worlds(); ++w) {
+        EXPECT_EQ((reach[t][w / 64] >> (w % 64)) & 1u,
+                  BruteForceConnects(bank, g, w, 0, t, active) ? 1u : 0u)
+            << "world " << w << " |active| = " << active.size();
+      }
+    }
+  }
+}
+
+TEST(WorldBankTest, BackwardFixpointMatchesForwardOnTranspose) {
+  // reach-to-t on g computed backward must equal reach-from-t forward with
+  // every arc direction ignored for undirected graphs; for the directed
+  // diamond, backward reach from t marks exactly the nodes that can reach t.
+  const UncertainGraph g = DiamondGraph();
+  WorldBank bank(g, {.num_samples = 300, .seed = 19, .num_threads = 1});
+  std::vector<std::vector<uint64_t>> to_t;
+  bank.ReachabilityFixpoint(3, /*backward=*/true, bank.AllEdges(), &to_t);
+  std::vector<std::vector<uint64_t>> from_s;
+  bank.ReachabilityFixpoint(0, /*backward=*/false, bank.AllEdges(), &from_s);
+  // s-t connectivity is symmetric between the two sweeps.
+  EXPECT_EQ(to_t[0], from_s[3]);
+}
+
+TEST(WorldBankTest, SeededReachIsKeptAndSound) {
+  // Pre-seeded bits (the selection fast path: worlds where a whole path is
+  // up) must be preserved and must not change the final connected count.
+  const UncertainGraph g = DiamondGraph();
+  WorldBank bank(g, {.num_samples = 4096, .seed = 21, .num_threads = 1});
+  const std::vector<EdgeId> active = bank.AllEdges();
+
+  std::vector<std::vector<uint64_t>> plain;
+  bank.ReachabilityFixpoint(0, /*backward=*/false, active, &plain);
+
+  // Edges 0+2 form the path 0-1-3; edge 4 is the direct 0->3 edge.
+  std::vector<std::vector<uint64_t>> seeded(
+      g.num_nodes(), std::vector<uint64_t>(bank.world_words(), 0));
+  seeded[3] = bank.WorldsWithAllEdges({0, 2});
+  const std::vector<uint64_t> direct = bank.WorldsWithAllEdges({4});
+  for (size_t i = 0; i < seeded[3].size(); ++i) seeded[3][i] |= direct[i];
+  bank.ReachabilityFixpoint(0, /*backward=*/false, active, &seeded);
+
+  EXPECT_EQ(seeded[3], plain[3]);
+}
+
+}  // namespace
+}  // namespace relmax

@@ -10,6 +10,8 @@
 //
 // Every command accepts --seed and prints deterministic results. Sampling
 // commands accept --threads N (0 = all cores); results do not depend on it.
+// Greedy solvers accept --reuse-worlds=0 to disable the shared possible-world
+// bank (common random numbers) and re-sample per evaluation instead.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -63,7 +65,16 @@ std::vector<NodeId> ParseNodeList(const std::string& csv) {
   return nodes;
 }
 
-SolverOptions OptionsFromFlags(const Flags& flags) {
+// Unknown flag values fail loudly: a typo like --estimator=rrs silently
+// running Monte Carlo (the old behavior) is indistinguishable from success.
+StatusOr<Estimator> ParseEstimator(const Flags& flags) {
+  const std::string name = flags.GetString("estimator", "mc");
+  if (name == "mc") return Estimator::kMonteCarlo;
+  if (name == "rss") return Estimator::kRss;
+  return Status::InvalidArgument("unknown --estimator (want mc|rss): " + name);
+}
+
+StatusOr<SolverOptions> OptionsFromFlags(const Flags& flags) {
   SolverOptions options;
   options.budget_k = static_cast<int>(flags.GetInt("k", 10));
   options.zeta = flags.GetDouble("zeta", 0.5);
@@ -75,9 +86,10 @@ SolverOptions OptionsFromFlags(const Flags& flags) {
       static_cast<int>(flags.GetInt("elim-samples", 500));
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
-  if (flags.GetString("estimator", "mc") == "rss") {
-    options.estimator = Estimator::kRss;
-  }
+  options.reuse_worlds = flags.GetBool("reuse-worlds", true);
+  auto estimator = ParseEstimator(flags);
+  RELMAX_RETURN_IF_ERROR(estimator.status());
+  options.estimator = *estimator;
   return options;
 }
 
@@ -134,9 +146,11 @@ int CmdEstimate(const Flags& flags) {
   const int samples = static_cast<int>(flags.GetInt("samples", 2000));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const auto estimator = ParseEstimator(flags);
+  if (!estimator.ok()) return Fail(estimator.status().ToString());
   WallTimer timer;
   double reliability;
-  if (flags.GetString("estimator", "mc") == "rss") {
+  if (*estimator == Estimator::kRss) {
     reliability = EstimateReliabilityRss(
         *graph, s, t,
         {.num_samples = samples, .seed = seed, .num_threads = threads});
@@ -156,15 +170,21 @@ int CmdSolve(const Flags& flags) {
   if (!flags.Has("s") || !flags.Has("t")) return Fail("need --s and --t");
   const NodeId s = static_cast<NodeId>(flags.GetInt("s", 0));
   const NodeId t = static_cast<NodeId>(flags.GetInt("t", 0));
-  const SolverOptions options = OptionsFromFlags(flags);
+  const auto options = OptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status().ToString());
   const std::string method_name = flags.GetString("method", "be");
-  const CoreMethod method = method_name == "ip"
-                                ? CoreMethod::kIndividualPaths
-                                : method_name == "mrp"
-                                      ? CoreMethod::kMostReliablePath
-                                      : CoreMethod::kBatchEdges;
+  CoreMethod method;
+  if (method_name == "be") {
+    method = CoreMethod::kBatchEdges;
+  } else if (method_name == "ip") {
+    method = CoreMethod::kIndividualPaths;
+  } else if (method_name == "mrp") {
+    method = CoreMethod::kMostReliablePath;
+  } else {
+    return Fail("unknown --method (want be|ip|mrp): " + method_name);
+  }
   WallTimer timer;
-  auto solution = MaximizeReliability(*graph, s, t, options, method);
+  auto solution = MaximizeReliability(*graph, s, t, *options, method);
   if (!solution.ok()) return Fail(solution.status().ToString());
   std::printf("method %s: reliability %.4f -> %.4f (gain %.4f) in %.2f s\n",
               CoreMethodName(method), solution->reliability_before,
@@ -176,7 +196,7 @@ int CmdSolve(const Flags& flags) {
   std::printf("candidates: %zu after elimination, %zu on top-%d paths\n",
               solution->stats.candidate_edges,
               solution->stats.candidate_edges_after_path_filter,
-              options.top_l);
+              options->top_l);
   return 0;
 }
 
@@ -191,12 +211,21 @@ int CmdMulti(const Flags& flags) {
     return Fail("need --sources a,b,... and --targets c,d,...");
   }
   const std::string agg_name = flags.GetString("aggregate", "avg");
-  const Aggregate aggregate = agg_name == "min"   ? Aggregate::kMinimum
-                              : agg_name == "max" ? Aggregate::kMaximum
-                                                  : Aggregate::kAverage;
+  Aggregate aggregate;
+  if (agg_name == "avg") {
+    aggregate = Aggregate::kAverage;
+  } else if (agg_name == "min") {
+    aggregate = Aggregate::kMinimum;
+  } else if (agg_name == "max") {
+    aggregate = Aggregate::kMaximum;
+  } else {
+    return Fail("unknown --aggregate (want avg|min|max): " + agg_name);
+  }
+  const auto options = OptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status().ToString());
   WallTimer timer;
   auto solution = MaximizeMultiReliability(*graph, sources, targets,
-                                           aggregate, OptionsFromFlags(flags));
+                                           aggregate, *options);
   if (!solution.ok()) return Fail(solution.status().ToString());
   std::printf("%s aggregate: %.4f -> %.4f (gain %.4f) in %.2f s\n",
               AggregateName(aggregate), solution->aggregate_before,
@@ -219,8 +248,10 @@ int CmdBudget(const Flags& flags) {
   budget.max_edges = static_cast<int>(flags.GetInt("max-edges", 10));
   budget.units = static_cast<int>(flags.GetInt("units", 20));
   budget.max_edge_prob = flags.GetDouble("max-edge-prob", 0.95);
+  const auto options = OptionsFromFlags(flags);
+  if (!options.ok()) return Fail(options.status().ToString());
   auto solution = MaximizeReliabilityWithProbabilityBudget(
-      *graph, s, t, budget, OptionsFromFlags(flags));
+      *graph, s, t, budget, *options);
   if (!solution.ok()) return Fail(solution.status().ToString());
   std::printf(
       "budget %.2f (used %.2f): reliability %.4f -> %.4f (gain %.4f)\n",
