@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 #include <unordered_set>
 
 #include "baselines/centrality.h"
@@ -20,6 +21,39 @@
 
 namespace relmax {
 namespace bench {
+
+std::string EnvironmentJson(const std::string& benchmark_library,
+                            const std::string& note) {
+  const auto escape = [](const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  };
+#if defined(__clang__)
+  const std::string compiler = "clang++ " __clang_version__;
+#elif defined(__GNUC__)
+  const std::string compiler = "g++ " __VERSION__;
+#else
+  const std::string compiler = "unknown";
+#endif
+#ifdef NDEBUG
+  const std::string build = " (Release)";
+#else
+  const std::string build = " (Debug)";
+#endif
+  const unsigned cpus = std::thread::hardware_concurrency();
+  std::string json = "{\n";
+  json += "  \"cpus_available\": " + std::to_string(cpus) + ",\n";
+  json += "  \"compiler\": \"" + escape(compiler + build) + "\",\n";
+  json += "  \"benchmark_library\": \"" + escape(benchmark_library) + "\",\n";
+  json += "  \"note\": \"" + escape(note) + "\"\n";
+  json += "}";
+  return json;
+}
 
 BenchConfig BenchConfig::FromFlags(const Flags& flags) {
   BenchConfig config;
@@ -39,6 +73,7 @@ BenchConfig BenchConfig::FromFlags(const Flags& flags) {
   config.num_threads =
       static_cast<int>(flags.GetInt("threads", config.num_threads));
   config.reuse_worlds = flags.GetBool("reuse-worlds", config.reuse_worlds);
+  config.print_env = flags.GetBool("print-env", config.print_env);
   return config;
 }
 
@@ -304,6 +339,12 @@ void PrintHeader(const std::string& title, const BenchConfig& config) {
       config.h, config.samples, config.elim_samples,
       static_cast<unsigned long long>(config.seed),
       config.reuse_worlds ? 1 : 0);
+  if (config.print_env) {
+    std::printf("environment: %s\n",
+                EnvironmentJson("WallTimer harness",
+                                "paper-table bench driver")
+                    .c_str());
+  }
   std::fflush(stdout);
 }
 

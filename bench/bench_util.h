@@ -50,10 +50,21 @@ struct BenchConfig {
   /// reported time honestly includes the extra sampling, which is exactly
   /// the paper's point about their cost.
   int greedy_sample_boost = 3;
+  /// Print the canonical environment JSON block under the bench banner
+  /// (--print-env), ready to paste into a BENCH_*.json record.
+  bool print_env = false;
 
   static BenchConfig FromFlags(const Flags& flags);
   SolverOptions ToSolverOptions() const;
 };
+
+/// Canonical `environment` block shared by every BENCH_*.json record —
+/// identical shape ({cpus_available, compiler, benchmark_library, note})
+/// for the sampling and selection files, emitted from this one helper so
+/// the schemas cannot drift apart again. `benchmark_library` names the
+/// timing harness ("google-benchmark x.y" or "WallTimer harness").
+std::string EnvironmentJson(const std::string& benchmark_library,
+                            const std::string& note);
 
 /// Methods compared across the paper's tables.
 enum class Method {

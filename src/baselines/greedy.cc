@@ -95,15 +95,22 @@ class CandidateWorldScorer {
 
   /// R(s, t) estimate with candidate `i` added to the working set. Exact
   /// over the bank's worlds: a path through the new edge must cross it once.
+  /// The per-node world rows are hoisted to raw pointers so the sweep is a
+  /// flat word-parallel AND chain.
   double With(size_t i) const {
     const NodeId u = candidates_[i].src;
     const NodeId v = candidates_[i].dst;
-    const std::vector<uint64_t>& up = candidate_up_[i];
+    const uint64_t* const up = candidate_up_[i].data();
+    const uint64_t* const from_u = from_s_[u].data();
+    const uint64_t* const from_v = from_s_[v].data();
+    const uint64_t* const to_u = to_t_[u].data();
+    const uint64_t* const to_v = to_t_[v].data();
+    const bool undirected = !g_plus_.directed();
     int64_t hits = base_hits_;
     for (size_t word = 0; word < connected_.size(); ++word) {
-      uint64_t fresh = up[word] & from_s_[u][word] & to_t_[v][word];
-      if (!g_plus_.directed()) {
-        fresh |= up[word] & from_s_[v][word] & to_t_[u][word];
+      uint64_t fresh = up[word] & from_u[word] & to_v[word];
+      if (undirected) {
+        fresh |= up[word] & from_v[word] & to_u[word];
       }
       hits += __builtin_popcountll(fresh & ~connected_[word]);
     }

@@ -228,11 +228,13 @@ struct WorldContext {
     queue.reserve(g.num_nodes());
   }
 
-  // Flips every logical edge once: one shared world for all pairs.
+  // Flips every logical edge once: one shared world for all pairs. The flat
+  // structure-of-arrays probability vector keeps this a pure (prob, draw)
+  // sweep.
   void SampleWorld(const UncertainGraph& g) {
+    const double* const probs = g.EdgeProbs().data();
     for (size_t e = 0; e < g.num_edges(); ++e) {
-      present[e] =
-          rng.NextBernoulli(g.EdgeById(static_cast<EdgeId>(e)).prob) ? 1 : 0;
+      present[e] = rng.NextBernoulli(probs[e]) ? 1 : 0;
     }
   }
 
@@ -256,12 +258,15 @@ struct WorldContext {
   }
 
   void Flood(const UncertainGraph& g) {
+    const CsrView csr = g.OutCsr();
     for (size_t head = 0; head < queue.size(); ++head) {
       const NodeId u = queue[head];
-      for (const Arc& arc : g.OutArcs(u)) {
-        if (!present[arc.edge_id] || visited.Visited(arc.to)) continue;
-        visited.Visit(arc.to);
-        queue.push_back(arc.to);
+      const size_t end = csr.end(u);
+      for (size_t i = csr.begin(u); i < end; ++i) {
+        const NodeId v = csr.heads[i];
+        if (!present[csr.edge_ids[i]] || visited.Visited(v)) continue;
+        visited.Visit(v);
+        queue.push_back(v);
       }
     }
   }

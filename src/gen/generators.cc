@@ -214,13 +214,24 @@ StatusOr<UncertainGraph> GeneratePowerlawCluster(NodeId num_nodes,
   }
   UncertainGraph g = UncertainGraph::Undirected(num_nodes);
   std::vector<NodeId> endpoints;
+  // Local neighbor mirror for the triad step: querying the graph's arcs
+  // after every insertion would rebuild its CSR per step (quadratic). The
+  // per-node push-back order below matches the CSR's edge-id arc order
+  // exactly, so the sampled neighbors — and the generated graph — are
+  // unchanged.
+  std::vector<std::vector<NodeId>> neighbors(num_nodes);
+  const auto try_add = [&](NodeId u, NodeId v) {
+    if (!TryAdd(&g, u, v)) return false;
+    neighbors[u].push_back(v);
+    neighbors[v].push_back(u);
+    endpoints.push_back(u);
+    endpoints.push_back(v);
+    return true;
+  };
   const NodeId seed_size = static_cast<NodeId>(edges_per_node + 1);
   for (NodeId u = 0; u < seed_size && u < num_nodes; ++u) {
     for (NodeId v = u + 1; v < seed_size; ++v) {
-      if (TryAdd(&g, u, v)) {
-        endpoints.push_back(u);
-        endpoints.push_back(v);
-      }
+      (void)try_add(u, v);
     }
   }
   for (NodeId u = seed_size; u < num_nodes; ++u) {
@@ -232,15 +243,13 @@ StatusOr<UncertainGraph> GeneratePowerlawCluster(NodeId num_nodes,
       // Triad step: close a triangle through a neighbor of the previous
       // attachment (Holme-Kim).
       if (last_attached != kInvalidNode && rng->NextBernoulli(triad_prob) &&
-          !g.OutArcs(last_attached).empty()) {
-        const auto& arcs = g.OutArcs(last_attached);
-        v = arcs[rng->NextUint64(arcs.size())].to;
+          !neighbors[last_attached].empty()) {
+        const std::vector<NodeId>& around = neighbors[last_attached];
+        v = around[rng->NextUint64(around.size())];
       } else {
         v = endpoints[rng->NextUint64(endpoints.size())];
       }
-      if (TryAdd(&g, u, v)) {
-        endpoints.push_back(u);
-        endpoints.push_back(v);
+      if (try_add(u, v)) {
         last_attached = v;
         ++added;
       }

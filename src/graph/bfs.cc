@@ -29,17 +29,21 @@ std::vector<int> BfsImpl(NodeId n, NodeId src, int max_hops, ArcsFn arcs_of) {
 
 std::vector<int> HopDistances(const UncertainGraph& g, NodeId src,
                               int max_hops) {
+  const CsrView csr = g.OutCsr();
   return BfsImpl(g.num_nodes(), src, max_hops, [&](NodeId u, auto&& visit) {
-    for (const Arc& a : g.OutArcs(u)) visit(a.to);
+    for (size_t i = csr.begin(u); i < csr.end(u); ++i) visit(csr.heads[i]);
   });
 }
 
 std::vector<int> UndirectedHopDistances(const UncertainGraph& g, NodeId src,
                                         int max_hops) {
+  const CsrView out = g.OutCsr();
+  const CsrView in = g.InCsr();
+  const bool directed = g.directed();
   return BfsImpl(g.num_nodes(), src, max_hops, [&](NodeId u, auto&& visit) {
-    for (const Arc& a : g.OutArcs(u)) visit(a.to);
-    if (g.directed()) {
-      for (const Arc& a : g.InArcs(u)) visit(a.to);
+    for (size_t i = out.begin(u); i < out.end(u); ++i) visit(out.heads[i]);
+    if (directed) {
+      for (size_t i = in.begin(u); i < in.end(u); ++i) visit(in.heads[i]);
     }
   });
 }

@@ -37,6 +37,14 @@ class VisitMarker {
 
   size_t size() const { return stamp_.size(); }
 
+  /// Raw scratch access for flattened hot loops: `stamp()[v] == epoch()`
+  /// means visited this epoch, and writing `stamp()[v] = epoch()` marks v.
+  /// Hoisting these into locals lets the compiler keep them in registers
+  /// across stores the aliasing rules would otherwise force it to reload
+  /// around. Valid until the next NewEpoch().
+  uint32_t* stamp() { return stamp_.data(); }
+  uint32_t epoch() const { return epoch_; }
+
  private:
   std::vector<uint32_t> stamp_;
   uint32_t epoch_;

@@ -1,0 +1,63 @@
+#ifndef RELMAX_SAMPLING_EDGE_WORLD_CACHE_H_
+#define RELMAX_SAMPLING_EDGE_WORLD_CACHE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Per-world edge outcome cache shared by the sampling kernels (undirected
+/// graphs only: both stored arcs of an edge must flip one coin per world).
+///
+/// Each per-edge word packs `(epoch << 1) | present`, so checking world
+/// coherence and reading the cached flip is a single random access. The
+/// epoch therefore lives in 31 bits; BeginWorld() re-zeroes the array on
+/// wrap so a stale entry can never alias the current world. This wrap
+/// protocol lives here, once, for every kernel that uses the cache.
+///
+/// Hot loops may bypass UpOrFlip and inline the protocol against `state()`
+/// and `epoch()` hoisted into locals (so stores cannot force per-arc member
+/// reloads); the packed layout above is the contract they follow.
+class EdgeWorldCache {
+ public:
+  explicit EdgeWorldCache(size_t num_edges) : state_(num_edges, 0) {}
+
+  /// Re-sizes for a mutated graph; every cached outcome is dropped.
+  void Reset(size_t num_edges) {
+    state_.assign(num_edges, 0);
+    epoch_ = 0;
+  }
+
+  /// Starts the next sampled world.
+  void BeginWorld() {
+    if (++epoch_ == (1u << 31)) {
+      std::fill(state_.begin(), state_.end(), 0u);
+      epoch_ = 1;
+    }
+  }
+
+  uint32_t epoch() const { return epoch_; }
+  uint32_t* state() { return state_.data(); }
+
+  /// Cached outcome of edge `e` in the current world, flipping via `flip()`
+  /// (exactly once per world) on first encounter.
+  template <typename FlipFn>
+  bool UpOrFlip(EdgeId e, FlipFn&& flip) {
+    uint32_t& packed = state_[e];
+    if ((packed >> 1) != epoch_) {
+      packed = (epoch_ << 1) | (flip() ? 1u : 0u);
+    }
+    return (packed & 1u) != 0;
+  }
+
+ private:
+  std::vector<uint32_t> state_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace relmax
+
+#endif  // RELMAX_SAMPLING_EDGE_WORLD_CACHE_H_

@@ -18,8 +18,9 @@ int64_t LazyPropagationSampler::NextGap(double p) {
 std::vector<std::vector<EdgeId>> LazyPropagationSampler::BucketizeWorlds(
     int num_samples) {
   std::vector<std::vector<EdgeId>> buckets(num_samples);
+  const std::vector<double>& probs = graph_.EdgeProbs();
   for (EdgeId e = 0; e < graph_.num_edges(); ++e) {
-    const double p = graph_.EdgeById(e).prob;
+    const double p = probs[e];
     if (p <= 0.0) continue;
     if (p >= 1.0) {
       for (int w = 0; w < num_samples; ++w) buckets[w].push_back(e);
@@ -45,6 +46,7 @@ double LazyPropagationSampler::Reliability(NodeId s, NodeId t,
   std::vector<uint32_t> present_epoch(graph_.num_edges(), 0);
   std::vector<NodeId> queue;
   queue.reserve(graph_.num_nodes());
+  const CsrView csr = graph_.OutCsr();
   int hits = 0;
   for (int w = 0; w < num_samples; ++w) {
     const uint32_t epoch = static_cast<uint32_t>(w) + 1;
@@ -55,17 +57,19 @@ double LazyPropagationSampler::Reliability(NodeId s, NodeId t,
     queue.push_back(s);
     bool reached = false;
     for (size_t head = 0; head < queue.size() && !reached; ++head) {
-      for (const Arc& arc : graph_.OutArcs(queue[head])) {
-        if (present_epoch[arc.edge_id] != epoch ||
-            visited_.Visited(arc.to)) {
+      const NodeId u = queue[head];
+      const size_t end = csr.end(u);
+      for (size_t i = csr.begin(u); i < end; ++i) {
+        const NodeId v = csr.heads[i];
+        if (present_epoch[csr.edge_ids[i]] != epoch || visited_.Visited(v)) {
           continue;
         }
-        visited_.Visit(arc.to);
-        if (arc.to == t) {
+        visited_.Visit(v);
+        if (v == t) {
           reached = true;
           break;
         }
-        queue.push_back(arc.to);
+        queue.push_back(v);
       }
     }
     hits += reached ? 1 : 0;
@@ -82,6 +86,7 @@ std::vector<double> LazyPropagationSampler::FromSource(NodeId s,
   std::vector<int> counts(graph_.num_nodes(), 0);
   std::vector<NodeId> queue;
   queue.reserve(graph_.num_nodes());
+  const CsrView csr = graph_.OutCsr();
   for (int w = 0; w < num_samples; ++w) {
     const uint32_t epoch = static_cast<uint32_t>(w) + 1;
     for (EdgeId e : buckets[w]) present_epoch[e] = epoch;
@@ -90,13 +95,15 @@ std::vector<double> LazyPropagationSampler::FromSource(NodeId s,
     visited_.Visit(s);
     queue.push_back(s);
     for (size_t head = 0; head < queue.size(); ++head) {
-      for (const Arc& arc : graph_.OutArcs(queue[head])) {
-        if (present_epoch[arc.edge_id] != epoch ||
-            visited_.Visited(arc.to)) {
+      const NodeId u = queue[head];
+      const size_t end = csr.end(u);
+      for (size_t i = csr.begin(u); i < end; ++i) {
+        const NodeId v = csr.heads[i];
+        if (present_epoch[csr.edge_ids[i]] != epoch || visited_.Visited(v)) {
           continue;
         }
-        visited_.Visit(arc.to);
-        queue.push_back(arc.to);
+        visited_.Visit(v);
+        queue.push_back(v);
       }
     }
     for (NodeId v : queue) ++counts[v];

@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "graph/uncertain_graph.h"
 #include "graph/visit_marker.h"
+#include "sampling/edge_world_cache.h"
 
 namespace relmax {
 
@@ -79,21 +80,43 @@ class MonteCarloSampler {
  private:
   // One sampled-world BFS. Reverse=true walks in-arcs. Visits are recorded in
   // visited_; traversal stops early when `stop_at` is reached (pass
-  // kInvalidNode to disable).
+  // kInvalidNode to disable). Dispatches on directedness so the flat-CSR
+  // inner loop carries no per-arc branch for the graph kind.
   template <bool kReverse>
   bool SampleWorldBfs(const std::vector<NodeId>& seeds, NodeId stop_at);
 
-  // Coin flip for `arc`, coherent within the current world.
-  bool ArcExists(const Arc& arc);
+  // The world-BFS core over prefetched flat arrays. Direction is whatever
+  // `csr`/`thresholds` encode; tight world loops (ReliabilityHits) fetch
+  // them once and call this per world.
+  template <bool kDirected>
+  bool RunWorldBfs(const CsrView& csr, const uint64_t* thresholds,
+                   const NodeId* seeds, size_t num_seeds, NodeId stop_at);
+
+  // Per-arc integer draw thresholds for the traversed direction, built on
+  // first use: `(rng.Next() >> 11) < threshold` decides exactly like
+  // `NextDouble() < prob` (bit-identical, same draw count), with sentinels
+  // for the no-draw p <= 0 / p >= 1 cases.
+  template <bool kReverse>
+  const uint64_t* Thresholds();
+
+  // Re-sizes the scratch and drops cached thresholds when the graph mutated
+  // since the last call (detected via UncertainGraph::version()), so edge
+  // additions and probability updates between estimates are picked up
+  // instead of read through stale caches.
+  void SyncWithGraph();
 
   const UncertainGraph& graph_;
+  uint64_t graph_version_;
   Rng rng_;
   VisitMarker visited_;
+  // BFS frontier scratch, sized num_nodes up front; queue_size_ tracks the
+  // live prefix so the hot loop writes through a stable raw pointer.
   std::vector<NodeId> queue_;
+  size_t queue_size_ = 0;
+  std::vector<uint64_t> out_thresholds_;
+  std::vector<uint64_t> in_thresholds_;  // directed reverse walks only
   // Per-world edge outcome cache (undirected graphs only).
-  std::vector<uint32_t> edge_epoch_;
-  std::vector<char> edge_present_;
-  uint32_t world_epoch_ = 0;
+  EdgeWorldCache edge_cache_;
 };
 
 /// One-shot wrapper: Monte Carlo estimate of R(s, t, G) via the batched

@@ -14,8 +14,7 @@ RssSampler::RssSampler(const UncertainGraph& g, const RssOptions& options)
       rng_(options.seed),
       state_(g.num_edges(), EdgeState::kUndetermined),
       visited_(g.num_nodes()),
-      edge_epoch_(g.directed() ? 0 : g.num_edges(), 0),
-      edge_present_(g.directed() ? 0 : g.num_edges(), 0) {
+      edge_cache_(g.directed() ? 0 : g.num_edges()) {
   RELMAX_CHECK(options_.num_samples > 0);
   RELMAX_CHECK(options_.strata_width > 0);
   RELMAX_CHECK(options_.mc_threshold > 0);
@@ -33,14 +32,15 @@ std::vector<NodeId> RssSampler::CertainlyReached(
       reached.push_back(r);
     }
   }
+  const CsrView csr = kReverse ? graph_.InCsr() : graph_.OutCsr();
   for (size_t head = 0; head < reached.size(); ++head) {
     const NodeId u = reached[head];
-    const std::vector<Arc>& arcs =
-        kReverse ? graph_.InArcs(u) : graph_.OutArcs(u);
-    for (const Arc& arc : arcs) {
-      if (state_[arc.edge_id] == EdgeState::kPresent && !seen[arc.to]) {
-        seen[arc.to] = 1;
-        reached.push_back(arc.to);
+    const size_t end = csr.end(u);
+    for (size_t i = csr.begin(u); i < end; ++i) {
+      const NodeId v = csr.heads[i];
+      if (state_[csr.edge_ids[i]] == EdgeState::kPresent && !seen[v]) {
+        seen[v] = 1;
+        reached.push_back(v);
       }
     }
   }
@@ -55,9 +55,11 @@ double RssSampler::ConditionedMc(const std::vector<NodeId>& roots,
   std::vector<int> counts;
   if (all_nodes_mode_) counts.assign(graph_.num_nodes(), 0);
 
+  const CsrView csr = kReverse ? graph_.InCsr() : graph_.OutCsr();
+  const bool directed = graph_.directed();
   for (int sample = 0; sample < num_samples; ++sample) {
     visited_.NewEpoch();
-    ++world_epoch_;
+    edge_cache_.BeginWorld();
     queue_.clear();
     bool hit = false;
     for (NodeId r : roots) {
@@ -68,33 +70,31 @@ double RssSampler::ConditionedMc(const std::vector<NodeId>& roots,
     }
     for (size_t head = 0; head < queue_.size() && !hit; ++head) {
       const NodeId u = queue_[head];
-      const std::vector<Arc>& arcs =
-          kReverse ? graph_.InArcs(u) : graph_.OutArcs(u);
-      for (const Arc& arc : arcs) {
-        if (visited_.Visited(arc.to)) continue;
-        const EdgeState st = state_[arc.edge_id];
+      const size_t end = csr.end(u);
+      for (size_t i = csr.begin(u); i < end; ++i) {
+        const NodeId v = csr.heads[i];
+        if (visited_.Visited(v)) continue;
+        const EdgeId e = csr.edge_ids[i];
+        const EdgeState st = state_[e];
         bool exists;
         if (st == EdgeState::kPresent) {
           exists = true;
         } else if (st == EdgeState::kAbsent) {
           exists = false;
-        } else if (graph_.directed()) {
-          exists = rng_.NextBernoulli(arc.prob);
+        } else if (directed) {
+          exists = rng_.NextBernoulli(csr.probs[i]);
         } else {
           // Coherent flip for the undirected edge within this world.
-          if (edge_epoch_[arc.edge_id] != world_epoch_) {
-            edge_epoch_[arc.edge_id] = world_epoch_;
-            edge_present_[arc.edge_id] = rng_.NextBernoulli(arc.prob) ? 1 : 0;
-          }
-          exists = edge_present_[arc.edge_id] != 0;
+          exists = edge_cache_.UpOrFlip(
+              e, [&] { return rng_.NextBernoulli(csr.probs[i]); });
         }
         if (!exists) continue;
-        visited_.Visit(arc.to);
-        if (arc.to == target) {
+        visited_.Visit(v);
+        if (v == target) {
           hit = true;
           break;
         }
-        queue_.push_back(arc.to);
+        queue_.push_back(v);
       }
     }
     if (hit) ++hits;
@@ -123,14 +123,15 @@ void RssSampler::PickPivots(const std::vector<NodeId>& reached,
   // partitions the remaining uncertainty that matters.
   std::vector<char> in_reached(graph_.num_nodes(), 0);
   for (NodeId v : reached) in_reached[v] = 1;
+  const CsrView csr = kReverse ? graph_.InCsr() : graph_.OutCsr();
   for (NodeId u : reached) {
-    const std::vector<Arc>& arcs =
-        kReverse ? graph_.InArcs(u) : graph_.OutArcs(u);
-    for (const Arc& arc : arcs) {
-      if (state_[arc.edge_id] != EdgeState::kUndetermined) continue;
-      if (in_reached[arc.to]) continue;
-      pivots->push_back(arc.edge_id);
-      pivot_probs->push_back(arc.prob);
+    const size_t end = csr.end(u);
+    for (size_t i = csr.begin(u); i < end; ++i) {
+      const EdgeId e = csr.edge_ids[i];
+      if (state_[e] != EdgeState::kUndetermined) continue;
+      if (in_reached[csr.heads[i]]) continue;
+      pivots->push_back(e);
+      pivot_probs->push_back(csr.probs[i]);
       if (static_cast<int>(pivots->size()) >= options_.strata_width) return;
     }
   }

@@ -6,6 +6,7 @@
 #include "common/rng.h"
 #include "graph/uncertain_graph.h"
 #include "graph/visit_marker.h"
+#include "sampling/edge_world_cache.h"
 
 namespace relmax {
 
@@ -103,9 +104,8 @@ class RssSampler {
   // Scratch for ConditionedMc.
   VisitMarker visited_;
   std::vector<NodeId> queue_;
-  std::vector<uint32_t> edge_epoch_;
-  std::vector<char> edge_present_;
-  uint32_t world_epoch_ = 0;
+  // Coherent per-world flips for undirected edges (empty when directed).
+  EdgeWorldCache edge_cache_;
 };
 
 /// One-shot wrapper: RSS estimate of R(s, t, G).

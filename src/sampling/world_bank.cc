@@ -24,6 +24,9 @@ WorldBank::WorldBank(const UncertainGraph& universe, const Options& options)
   static_assert(kShardSamples == 64,
                 "WorldBank's word-per-shard fill requires 64-world shards");
   const size_t num_edges = universe.num_edges();
+  // Flat structure-of-arrays probability vector: the fill is a pure sweep of
+  // (edge prob, RNG draw) pairs with no Edge-struct loads in the inner loop.
+  const double* const probs = universe.EdgeProbs().data();
   const std::vector<SampleShard> shards =
       MakeSampleShards(options.num_samples, options.seed);
   ForEachShard(
@@ -35,8 +38,7 @@ WorldBank::WorldBank(const UncertainGraph& universe, const Options& options)
         for (int sample = 0; sample < shards[i].num_samples; ++sample) {
           const uint64_t bit = uint64_t{1} << sample;
           for (size_t e = 0; e < num_edges; ++e) {
-            if (rng->NextBernoulli(
-                    universe.EdgeById(static_cast<EdgeId>(e)).prob)) {
+            if (rng->NextBernoulli(probs[e])) {
               up_[e][word] |= bit;
             }
           }
@@ -76,13 +78,15 @@ void WorldBank::ReachabilityFixpoint(
   // Word-parallel Bellman-Ford-style sweeps: one pass relaxes every active
   // edge for all 64-world lanes at once; convergence takes ~(1 + number of
   // hops any reachability fact must travel against the edge order) passes —
-  // near 2 when `active` is in path order.
+  // near 2 when `active` is in path order. Endpoints come from the flat
+  // by-EdgeId array, indexed directly per relaxed edge.
+  const Edge* const edges = universe_.EdgesById().data();
   const bool undirected = !universe_.directed();
   bool changed = true;
   while (changed) {
     changed = false;
     for (EdgeId e : active) {
-      const Edge& edge = universe_.EdgeById(e);
+      const Edge& edge = edges[e];
       const std::vector<uint64_t>& up = up_[e];
       NodeId from = edge.src;
       NodeId to = edge.dst;

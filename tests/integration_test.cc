@@ -4,8 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdio>
+#include <regex>
+#include <string>
 
 #include "baselines/greedy.h"
+#include "common/rng.h"
 #include "core/candidates.h"
 #include "core/evaluate.h"
 #include "core/multi.h"
@@ -151,6 +155,115 @@ TEST(IntegrationTest, MultiAverageConsistentWithSinglePairUnion) {
   EXPECT_GE(AggregateMatrix(after, Aggregate::kAverage) + 0.02,
             AggregateMatrix(before, Aggregate::kAverage));
 }
+
+// ------------------------------------------------------ golden CLI pins
+//
+// Full-binary runs of relmax_cli with pinned stdout. The estimates and the
+// selected edge sets are bit-identical functions of (graph file, flags,
+// seed) — including the CSR arc order driving every RNG stream — so any
+// regression in edge visitation order, probability bookkeeping, or flag
+// plumbing fails these loudly. Wall-clock timings are normalized away;
+// thread counts 1 and 4 must produce byte-identical normalized output.
+
+std::string RunCli(const std::string& args) {
+  const std::string cmd = std::string(RELMAX_CLI_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << cmd;
+  if (pipe == nullptr) return "";
+  std::string out;
+  char buffer[4096];
+  size_t n;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    out.append(buffer, n);
+  }
+  EXPECT_EQ(pclose(pipe), 0) << cmd << "\n" << out;
+  return out;
+}
+
+// Replaces wall-clock figures ("0.37 s") with a fixed token so the golden
+// comparison only sees deterministic content.
+std::string NormalizeTimings(const std::string& s) {
+  static const std::regex kTiming("[0-9]+\\.[0-9]+ s");
+  return std::regex_replace(s, kTiming, "<t> s");
+}
+
+// The paper's run-through Example 3 (Figure 4c core): directed, blue edges
+// C->B (0.9) and C->t (0.3); s = 0, B = 1, C = 2, t = 3.
+std::string WriteExample3Graph() {
+  UncertainGraph g = UncertainGraph::Directed(4);
+  EXPECT_TRUE(g.AddEdge(2, 1, 0.9).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 0.3).ok());
+  const std::string path = testing::TempDir() + "/golden_example3.graph";
+  EXPECT_TRUE(WriteEdgeList(g, path).ok());
+  return path;
+}
+
+// The solver_test two-cluster fixture: dense clusters around s and t joined
+// by one weak bridge.
+std::string WriteTwoClusterGraph() {
+  Rng rng(3);
+  UncertainGraph g = UncertainGraph::Undirected(12);
+  auto connect_cluster = [&](NodeId lo, NodeId hi) {
+    for (NodeId u = lo; u < hi; ++u) {
+      for (NodeId v = u + 1; v <= hi; ++v) {
+        if (rng.NextBernoulli(0.8)) {
+          (void)g.AddEdge(u, v, rng.NextDouble(0.4, 0.8));
+        }
+      }
+    }
+  };
+  connect_cluster(0, 5);
+  connect_cluster(6, 11);
+  EXPECT_TRUE(g.AddEdge(5, 6, 0.15).ok());
+  const std::string path = testing::TempDir() + "/golden_two_cluster.graph";
+  EXPECT_TRUE(WriteEdgeList(g, path).ok());
+  return path;
+}
+
+class GoldenCliThreadSweep : public testing::TestWithParam<int> {};
+
+TEST_P(GoldenCliThreadSweep, Example3SolveAndEstimateStdoutPinned) {
+  const std::string graph = WriteExample3Graph();
+  const std::string threads = std::to_string(GetParam());
+
+  const std::string solve = NormalizeTimings(RunCli(
+      "solve --graph " + graph +
+      " --s 0 --t 3 --k 2 --zeta 0.01 --h -1 --r 12 --samples 4000"
+      " --seed 11 --threads " + threads));
+  EXPECT_EQ(solve,
+            "method BE: reliability 0.0000 -> 0.0132 (gain 0.0132) in <t> s\n"
+            "  add 0 -> 3 (p = 0.010)\n"
+            "  add 0 -> 2 (p = 0.010)\n"
+            "candidates: 2 after elimination, 2 on top-30 paths\n");
+
+  const std::string estimate = NormalizeTimings(RunCli(
+      "estimate --graph " + graph +
+      " --s 2 --t 3 --samples 20000 --seed 5 --threads " + threads));
+  EXPECT_EQ(estimate, "R(2, 3) = 0.3004   (20000 samples, <t> s)\n");
+}
+
+TEST_P(GoldenCliThreadSweep, TwoClusterSolveAndEstimateStdoutPinned) {
+  const std::string graph = WriteTwoClusterGraph();
+  const std::string threads = std::to_string(GetParam());
+
+  const std::string solve = NormalizeTimings(RunCli(
+      "solve --graph " + graph +
+      " --s 0 --t 11 --k 3 --r 12 --l 15 --h -1 --samples 400"
+      " --elim-samples 400 --seed 21 --threads " + threads));
+  EXPECT_EQ(solve,
+            "method BE: reliability 0.1400 -> 0.8825 (gain 0.7425) in <t> s\n"
+            "  add 0 -> 11 (p = 0.500)\n"
+            "  add 4 -> 11 (p = 0.500)\n"
+            "  add 3 -> 11 (p = 0.500)\n"
+            "candidates: 40 after elimination, 14 on top-15 paths\n");
+
+  const std::string estimate = NormalizeTimings(RunCli(
+      "estimate --graph " + graph +
+      " --s 0 --t 11 --samples 20000 --seed 5 --threads " + threads));
+  EXPECT_EQ(estimate, "R(0, 11) = 0.1197   (20000 samples, <t> s)\n");
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, GoldenCliThreadSweep, testing::Values(1, 4));
 
 }  // namespace
 }  // namespace relmax

@@ -10,10 +10,13 @@
 #include "core/evaluate.h"
 #include "graph/exact_reliability.h"
 #include "graph/uncertain_graph.h"
+#include "oracle_util.h"
 #include "paths/most_reliable_path.h"
 #include "paths/yen.h"
+#include "sampling/lazy_propagation.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
+#include "sampling/world_bank.h"
 
 namespace relmax {
 namespace {
@@ -151,6 +154,80 @@ TEST_P(ReliabilityInvariantSweep, ParallelEstimatorsWithin3SigmaOnRandomDag) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ReliabilityInvariantSweep,
                          testing::Range(0, 10));
+
+// ------------------------------------------- exact-oracle conformance sweep
+
+// The brute-force oracle itself is checked against closed forms and the
+// factoring oracle before it referees the estimators.
+TEST(ExactOracleTest, OracleMatchesClosedFormsAndFactoring) {
+  // Two parallel s-t edges: R = 1 − (1 − p1)(1 − p2). Parallel edges are not
+  // supported, so route the second path through a p = 1 relay.
+  UncertainGraph g = UncertainGraph::Directed(3);
+  ASSERT_TRUE(g.AddEdge(0, 2, 0.6).ok());
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 0.5).ok());
+  EXPECT_NEAR(oracle::BruteForceReliability(g, 0, 2),
+              1.0 - (1.0 - 0.6) * (1.0 - 0.5), 1e-12);
+
+  // Series chain: R = Π p_i.
+  UncertainGraph chain = UncertainGraph::Undirected(4);
+  ASSERT_TRUE(chain.AddEdge(0, 1, 0.9).ok());
+  ASSERT_TRUE(chain.AddEdge(1, 2, 0.8).ok());
+  ASSERT_TRUE(chain.AddEdge(2, 3, 0.7).ok());
+  EXPECT_NEAR(oracle::BruteForceReliability(chain, 0, 3), 0.9 * 0.8 * 0.7,
+              1e-12);
+
+  // Against the independent factoring oracle on random topologies.
+  for (int seed = 0; seed < 6; ++seed) {
+    const UncertainGraph r =
+        oracle::SmallRandomGraph(40 + seed, 6, 9, seed % 2 == 0);
+    const NodeId t = r.num_nodes() - 1;
+    EXPECT_NEAR(oracle::BruteForceReliability(r, 0, t),
+                ExactReliabilityFactoring(r, 0, t, 50).value(), 1e-9)
+        << "seed " << seed;
+  }
+}
+
+// Every estimator backend — MC (serial and batched-parallel), RSS, lazy
+// propagation, and the WorldBank word-parallel fixpoint — agrees with the
+// brute-force enumeration oracle within 3σ, on random directed and
+// undirected graphs of ≤ 10 edges. All streams are fixed-seed, so the
+// tolerance is deterministic, not flaky.
+class ExactOracleConformanceSweep : public testing::TestWithParam<int> {};
+
+TEST_P(ExactOracleConformanceSweep, EstimatorsMatchBruteForceEnumeration) {
+  const int param = GetParam();
+  const bool directed = param % 2 == 0;
+  const NodeId n = 5 + param % 3;
+  const UncertainGraph g =
+      oracle::SmallRandomGraph(1300 + param, n, 10, directed);
+  const NodeId s = 0;
+  const NodeId t = n - 1;
+  const double exact = oracle::BruteForceReliability(g, s, t);
+
+  const int kSamples = 20000;
+  const double band = oracle::ThreeSigma(exact, kSamples);
+
+  for (int threads : {1, 3}) {
+    const double mc = EstimateReliability(
+        g, s, t,
+        {.num_samples = kSamples, .seed = 91, .num_threads = threads});
+    EXPECT_NEAR(mc, exact, band) << "MC, threads = " << threads;
+  }
+  const double rss = EstimateReliabilityRss(
+      g, s, t, {.num_samples = kSamples, .seed = 92});
+  EXPECT_NEAR(rss, exact, band) << "RSS";
+
+  const double lazy = EstimateReliabilityLazy(g, s, t, kSamples, 93);
+  EXPECT_NEAR(lazy, exact, band) << "lazy propagation";
+
+  const WorldBank bank(g, {.num_samples = kSamples, .seed = 94});
+  const double fixpoint = bank.ConnectedFraction(s, t, bank.AllEdges(), {});
+  EXPECT_NEAR(fixpoint, exact, band) << "WorldBank fixpoint";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactOracleConformanceSweep,
+                         testing::Range(0, 12));
 
 // ------------------------------------------------------- failure injection
 

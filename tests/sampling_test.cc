@@ -158,6 +158,27 @@ TEST(ConvergenceTest, DispersionShrinksWithMoreSamples) {
   EXPECT_NEAR(small.mean, large.mean, 0.1);
 }
 
+// A held sampler must observe graph mutations between estimates: probability
+// updates patch the CSR in place and edge additions rebuild it, and the
+// sampler's cached per-arc thresholds / per-edge world state re-sync off the
+// graph's version counter instead of silently going stale.
+TEST(MonteCarloSamplerTest, PicksUpGraphMutationsBetweenEstimates) {
+  for (const bool directed : {true, false}) {
+    UncertainGraph g = directed ? UncertainGraph::Directed(3)
+                                : UncertainGraph::Undirected(3);
+    ASSERT_TRUE(g.AddEdge(0, 1, 0.0).ok());
+    MonteCarloSampler sampler(g, 7);
+    EXPECT_DOUBLE_EQ(sampler.Reliability(0, 1, 500), 0.0) << directed;
+
+    ASSERT_TRUE(g.UpdateEdgeProb(0, 1, 1.0).ok());
+    EXPECT_DOUBLE_EQ(sampler.Reliability(0, 1, 500), 1.0) << directed;
+
+    // Edge addition grows the CSR and the logical edge set.
+    ASSERT_TRUE(g.AddEdge(1, 2, 1.0).ok());
+    EXPECT_DOUBLE_EQ(sampler.Reliability(0, 2, 500), 1.0) << directed;
+  }
+}
+
 TEST(ConvergenceTest, FindConvergedSampleSizePicksSmallEnoughZ) {
   const UncertainGraph g = DiamondGraph();
   const std::vector<std::pair<NodeId, NodeId>> queries = {{0, 3}};
