@@ -41,6 +41,30 @@ LineResult ReadLine(FILE* f, std::string* line) {
 
 }  // namespace
 
+StatusOr<std::vector<std::string>> ReadTextLines(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  LineResult read;
+  while ((read = ReadLine(f, &line)) != LineResult::kEof) {
+    if (read == LineResult::kTooLong) {
+      std::fclose(f);
+      return Status::InvalidArgument("line too long at line " +
+                                     std::to_string(lines.size() + 1));
+    }
+    if (read == LineResult::kNulByte) {
+      std::fclose(f);
+      return Status::InvalidArgument("NUL byte at line " +
+                                     std::to_string(lines.size() + 1) +
+                                     " (binary file?)");
+    }
+    lines.push_back(line);
+  }
+  std::fclose(f);
+  return lines;
+}
+
 Status WriteEdgeList(const UncertainGraph& g, const std::string& path) {
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return Status::IoError("cannot open for write: " + path);
@@ -56,34 +80,20 @@ Status WriteEdgeList(const UncertainGraph& g, const std::string& path) {
 }
 
 StatusOr<UncertainGraph> ReadEdgeList(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  auto lines = ReadTextLines(path);
+  RELMAX_RETURN_IF_ERROR(lines.status());
 
-  std::string line;
   bool have_header = false;
   bool directed = false;
   unsigned num_nodes = 0;
   UncertainGraph g = UncertainGraph::Directed(0);
-  int line_no = 0;
-  LineResult read;
-  while ((read = ReadLine(f, &line)) != LineResult::kEof) {
-    ++line_no;
-    if (read == LineResult::kTooLong) {
-      std::fclose(f);
-      return Status::InvalidArgument("line too long at line " +
-                                     std::to_string(line_no));
-    }
-    if (read == LineResult::kNulByte) {
-      std::fclose(f);
-      return Status::InvalidArgument("NUL byte at line " +
-                                     std::to_string(line_no) +
-                                     " (binary file?)");
-    }
+  for (size_t i = 0; i < lines->size(); ++i) {
+    const std::string& line = (*lines)[i];
+    const int line_no = static_cast<int>(i) + 1;
     if (line.empty() || line[0] == '#') continue;
     if (!have_header) {
       char kind[32];
       if (std::sscanf(line.c_str(), "%31s %u", kind, &num_nodes) != 2) {
-        std::fclose(f);
         return Status::InvalidArgument("bad header at line " +
                                        std::to_string(line_no));
       }
@@ -92,7 +102,6 @@ StatusOr<UncertainGraph> ReadEdgeList(const std::string& path) {
       } else if (std::strcmp(kind, "undirected") == 0) {
         directed = false;
       } else {
-        std::fclose(f);
         return Status::InvalidArgument("unknown graph kind: " +
                                        std::string(kind));
       }
@@ -105,17 +114,11 @@ StatusOr<UncertainGraph> ReadEdgeList(const std::string& path) {
     unsigned v = 0;
     double p = 0.0;
     if (std::sscanf(line.c_str(), "%u %u %lf", &u, &v, &p) != 3) {
-      std::fclose(f);
       return Status::InvalidArgument("bad edge at line " +
                                      std::to_string(line_no));
     }
-    Status st = g.AddEdge(u, v, p);
-    if (!st.ok()) {
-      std::fclose(f);
-      return st;
-    }
+    RELMAX_RETURN_IF_ERROR(g.AddEdge(u, v, p));
   }
-  std::fclose(f);
   if (!have_header) return Status::InvalidArgument("missing header: " + path);
   return g;
 }

@@ -2,11 +2,20 @@
 #define RELMAX_GRAPH_GRAPH_IO_H_
 
 #include <string>
+#include <vector>
 
 #include "common/status.h"
 #include "graph/uncertain_graph.h"
 
 namespace relmax {
+
+/// Reads a whole text file as newline-stripped lines (CRLF tolerated)
+/// through the shared guarded reader every text parser in the library uses:
+/// IoError when the file cannot be opened, InvalidArgument on a NUL byte
+/// (binary file) or a line past 1 MB — one implementation, so the guards
+/// and their messages cannot drift between parsers. Line i of the result is
+/// file line i + 1; blank lines are preserved.
+StatusOr<std::vector<std::string>> ReadTextLines(const std::string& path);
 
 /// Serializes `g` as a probabilistic edge list:
 ///

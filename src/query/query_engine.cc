@@ -1,0 +1,219 @@
+#include "query/query_engine.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "core/evaluate.h"
+#include "sampling/parallel.h"
+#include "sampling/reliability.h"
+#include "sampling/rss.h"
+
+namespace relmax {
+namespace {
+
+/// Shared-world footprint caps (mirroring the greedy baselines' bank cap):
+/// beyond them the engine falls back to per-query estimation rather than
+/// swapping. The bank is edges × worlds bits; each flood lane additionally
+/// holds a nodes × worlds reach matrix.
+constexpr size_t kMaxBankBytes = size_t{256} << 20;
+constexpr size_t kMaxFloodBytesPerLane = size_t{64} << 20;
+
+size_t WorldWords(int num_samples) {
+  return (static_cast<size_t>(num_samples) + 63) / 64;
+}
+
+}  // namespace
+
+QueryEngine::QueryEngine(const UncertainGraph& g,
+                         const QueryEngineOptions& options)
+    : graph_(g), options_(options), graph_version_(g.version()) {
+  RELMAX_CHECK(options_.num_samples > 0);
+}
+
+void QueryEngine::SyncWithGraph() {
+  if (graph_.version() == graph_version_) return;
+  graph_version_ = graph_.version();
+  bank_.reset();
+  all_edges_.clear();
+  cache_.clear();
+}
+
+bool QueryEngine::UseSharedWorlds() const {
+  if (!options_.reuse_worlds) return false;
+  if (options_.estimator != Estimator::kMonteCarlo) return false;
+  const size_t words = WorldWords(options_.num_samples);
+  return graph_.num_edges() * words * 8 <= kMaxBankBytes &&
+         static_cast<size_t>(graph_.num_nodes()) * words * 8 <=
+             kMaxFloodBytesPerLane;
+}
+
+void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
+                               std::unordered_map<uint64_t, double>* resolved,
+                               BatchStats* stats) {
+  if (pairs.empty()) return;
+  if (UseSharedWorlds()) {
+    if (bank_ == nullptr) {
+      bank_ = std::make_unique<WorldBank>(
+          graph_, WorldBank::Options{.num_samples = options_.num_samples,
+                                     .seed = options_.seed,
+                                     .num_threads = options_.num_threads});
+      all_edges_ = bank_->AllEdges();
+    }
+    // Group pair indices by source (first-appearance order, so the flood
+    // schedule is a pure function of the deduplicated pair list). Every
+    // value below depends only on (bank bits, source, target); the bank is
+    // thread-invariant by construction, so slot writes by pair index keep
+    // the whole batch bit-identical for any num_threads.
+    std::unordered_map<NodeId, size_t> source_slot;
+    std::vector<NodeId> sources;
+    std::vector<std::vector<size_t>> pairs_of_source;
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      const auto [it, inserted] =
+          source_slot.emplace(pairs[i].s, sources.size());
+      if (inserted) {
+        sources.push_back(pairs[i].s);
+        pairs_of_source.emplace_back();
+      }
+      pairs_of_source[it->second].push_back(i);
+    }
+    std::vector<double> values(pairs.size());
+    const WorldBank& bank = *bank_;
+    const int num_worlds = bank.num_worlds();
+    ForEachShard(
+        sources.size(), options_.num_threads,
+        [] {
+          return std::make_unique<std::vector<std::vector<uint64_t>>>();
+        },
+        [&](std::unique_ptr<std::vector<std::vector<uint64_t>>>& reach,
+            size_t i) {
+          // ReachabilityFixpoint keeps pre-set bits as facts, so the scratch
+          // must be wiped between sources (clear() forces the re-assign).
+          reach->clear();
+          bank.ReachabilityFixpoint(sources[i], /*backward=*/false,
+                                    all_edges_, reach.get());
+          for (size_t idx : pairs_of_source[i]) {
+            values[idx] =
+                static_cast<double>(WorldBank::CountBits(
+                    (*reach)[pairs[idx].t], static_cast<size_t>(num_worlds))) /
+                num_worlds;
+          }
+        },
+        [](std::unique_ptr<std::vector<std::vector<uint64_t>>>&) {});
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      (*resolved)[PairKey(pairs[i].s, pairs[i].t)] = values[i];
+    }
+    stats->floods += sources.size();
+    return;
+  }
+  // Per-query fallback: each pair is estimated independently, exactly the
+  // single-query public API under the same (Z, seed, threads).
+  if (options_.estimator == Estimator::kRss) {
+    RssOptions rss = options_.rss;
+    rss.num_samples = options_.num_samples;
+    rss.seed = options_.seed;
+    rss.num_threads = options_.num_threads;
+    for (const StQuery& q : pairs) {
+      (*resolved)[PairKey(q.s, q.t)] =
+          EstimateReliabilityRss(graph_, q.s, q.t, rss);
+    }
+  } else {
+    const SampleOptions mc{.num_samples = options_.num_samples,
+                           .seed = options_.seed,
+                           .num_threads = options_.num_threads};
+    for (const StQuery& q : pairs) {
+      (*resolved)[PairKey(q.s, q.t)] =
+          EstimateReliability(graph_, q.s, q.t, mc);
+    }
+  }
+  stats->floods += pairs.size();
+}
+
+StatusOr<BatchResult> QueryEngine::Answer(const QuerySet& set) {
+  RELMAX_RETURN_IF_ERROR(set.Validate(graph_));
+  SyncWithGraph();
+  WallTimer timer;
+  BatchResult result;
+  result.stats.num_queries = set.size();
+
+  // Deduplicate the (s, t) pairs the batch needs, across all query kinds, in
+  // first-appearance order; pairs already memoized are cache hits.
+  std::vector<StQuery> needed;
+  std::unordered_set<uint64_t> seen;
+  auto want = [&](NodeId s, NodeId t) {
+    if (!seen.insert(PairKey(s, t)).second) return;
+    if (cache_.count(PairKey(s, t)) != 0) {
+      ++result.stats.cache_hits;
+      return;
+    }
+    needed.push_back({s, t});
+  };
+  for (const StQuery& q : set.st_queries()) want(q.s, q.t);
+  for (const AggregateQuery& q : set.aggregate_queries()) {
+    for (NodeId s : q.sources) {
+      for (NodeId t : q.targets) want(s, t);
+    }
+  }
+  for (const TopKQuery& q : set.top_k_queries()) {
+    for (const StQuery& c : q.candidates) want(c.s, c.t);
+  }
+  result.stats.distinct_pairs = seen.size();
+
+  std::unordered_map<uint64_t, double> resolved;
+  ResolvePairs(needed, &resolved, &result.stats);
+
+  const auto value = [&](NodeId s, NodeId t) {
+    const auto it = resolved.find(PairKey(s, t));
+    if (it != resolved.end()) return it->second;
+    const auto cached = cache_.find(PairKey(s, t));
+    RELMAX_CHECK(cached != cache_.end());
+    return cached->second;
+  };
+
+  result.st_values.reserve(set.st_queries().size());
+  for (const StQuery& q : set.st_queries()) {
+    result.st_values.push_back(value(q.s, q.t));
+  }
+  for (const AggregateQuery& q : set.aggregate_queries()) {
+    std::vector<std::vector<double>> matrix(q.sources.size());
+    for (size_t i = 0; i < q.sources.size(); ++i) {
+      matrix[i].reserve(q.targets.size());
+      for (NodeId t : q.targets) matrix[i].push_back(value(q.sources[i], t));
+    }
+    result.aggregate_values.push_back(AggregateMatrix(matrix, q.aggregate));
+  }
+  for (const TopKQuery& q : set.top_k_queries()) {
+    std::vector<std::pair<size_t, double>> scored;
+    scored.reserve(q.candidates.size());
+    for (size_t i = 0; i < q.candidates.size(); ++i) {
+      scored.emplace_back(i, value(q.candidates[i].s, q.candidates[i].t));
+    }
+    // stable_sort keeps candidate order among equal reliabilities, so the
+    // ranking is deterministic and documented.
+    std::stable_sort(scored.begin(), scored.end(),
+                     [](const std::pair<size_t, double>& a,
+                        const std::pair<size_t, double>& b) {
+                       return a.second > b.second;
+                     });
+    const size_t k = std::min(static_cast<size_t>(q.k), scored.size());
+    scored.resize(k);
+    result.top_k.push_back(std::move(scored));
+  }
+
+  if (options_.cache_results) {
+    cache_.insert(resolved.begin(), resolved.end());
+  }
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+double QueryEngine::EstimateSt(NodeId s, NodeId t) {
+  QuerySet set;
+  set.AddSt(s, t);
+  auto result = Answer(set);
+  RELMAX_CHECK(result.ok());
+  return result->st_values[0];
+}
+
+}  // namespace relmax

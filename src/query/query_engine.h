@@ -1,0 +1,143 @@
+#ifndef RELMAX_QUERY_QUERY_ENGINE_H_
+#define RELMAX_QUERY_QUERY_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/types.h"
+#include "graph/uncertain_graph.h"
+#include "query/query_set.h"
+#include "sampling/world_bank.h"
+
+namespace relmax {
+
+/// Knobs for the batch query engine. The estimator fields mirror
+/// SolverOptions so CLI/bench flag plumbing stays uniform.
+struct QueryEngineOptions {
+  /// Number of sampled possible worlds Z shared by the whole batch.
+  int num_samples = 2000;
+  /// RNG seed; every answer is a pure function of (graph version, estimator,
+  /// seed, Z, query) — independent of batch composition and thread count.
+  uint64_t seed = 42;
+  /// Worker lanes (<= 0 means all hardware threads). Answers are
+  /// bit-identical for a fixed seed regardless of this value.
+  int num_threads = 1;
+  /// Estimator for reliability values. The shared-world fast path applies to
+  /// Monte Carlo; RSS keeps its stratified per-query streams.
+  Estimator estimator = Estimator::kMonteCarlo;
+  /// Answer the whole batch from one shared WorldBank (sample Z worlds once,
+  /// one word-parallel flood per distinct source). When off, every pair is
+  /// estimated independently — exactly EstimateReliability(g, s, t) under
+  /// the same (Z, seed, threads).
+  bool reuse_worlds = true;
+  /// Remember per-pair answers across Answer() calls. Entries are keyed by
+  /// the full determinism tuple — (graph version(), estimator, seed, Z,
+  /// query); the first four are fixed per engine, so the cache stores
+  /// (query -> value) and is dropped wholesale when the graph mutates.
+  bool cache_results = true;
+  /// RSS-specific knobs when estimator == kRss (num_samples/seed/threads
+  /// above override the matching RssOptions fields).
+  RssOptions rss;
+};
+
+/// Per-batch accounting, reported alongside the answers.
+struct BatchStats {
+  /// Total queries answered (all kinds).
+  size_t num_queries = 0;
+  /// Distinct (s, t) pairs the batch needed.
+  size_t distinct_pairs = 0;
+  /// Pairs served from the result cache (previous Answer() calls on the
+  /// same graph version).
+  size_t cache_hits = 0;
+  /// Reachability floods actually run — one per distinct source among the
+  /// non-cached pairs on the shared-world path, one BFS pass per pair
+  /// otherwise.
+  size_t floods = 0;
+  double seconds = 0.0;
+};
+
+/// Answers to one QuerySet, parallel to each kind's insertion order.
+struct BatchResult {
+  /// st_values[i] answers set.st_queries()[i].
+  std::vector<double> st_values;
+  /// aggregate_values[i] answers set.aggregate_queries()[i].
+  std::vector<double> aggregate_values;
+  /// top_k[i] answers set.top_k_queries()[i]: (candidate index, reliability)
+  /// sorted by descending reliability, ties broken by candidate order.
+  std::vector<std::vector<std::pair<size_t, double>>> top_k;
+  BatchStats stats;
+};
+
+/// Batch multi-query reliability engine: many queries against one uncertain
+/// graph, answered from one shared set of sampled worlds.
+///
+/// The paper's estimators pay Z sampled worlds per (s, t) query; under
+/// multi-query traffic that re-sampling is almost entirely redundant. The
+/// engine samples Z worlds once into a WorldBank (edges × worlds bit-matrix)
+/// and runs one word-parallel reachability flood per **distinct source**:
+/// `reach[v]` bit w says "v reachable from s in world w", so every query
+/// sharing that source — s-t pairs, aggregate matrix cells, top-k candidates
+/// — is a popcount of the flood's target row. Floods for different sources
+/// are independent and fan out across the sampling thread pool; each answer
+/// depends only on (bank bits, source), so results are **bit-identical for
+/// any num_threads** and for any batch composition or order.
+///
+/// Answers are memoized: a pair asked again while the graph's version() is
+/// unchanged is free. Any mutation (AddEdge/UpdateEdgeProb/assignment)
+/// invalidates the cache and the bank wholesale on the next Answer().
+///
+/// The engine is not internally synchronized: Answer() mutates the cache,
+/// so concurrent callers must serialize (or use one engine per thread —
+/// answers are identical by construction).
+class QueryEngine {
+ public:
+  /// `g` must outlive the engine.
+  QueryEngine(const UncertainGraph& g, const QueryEngineOptions& options);
+
+  /// Answers every query in `set`. Fails on validation errors (out-of-range
+  /// nodes, empty aggregate sets, k < 1) without computing anything.
+  StatusOr<BatchResult> Answer(const QuerySet& set);
+
+  /// Single-pair convenience: exactly Answer() of a one-query batch.
+  double EstimateSt(NodeId s, NodeId t);
+
+  const UncertainGraph& graph() const { return graph_; }
+  const QueryEngineOptions& options() const { return options_; }
+
+  /// Pairs currently memoized (test/introspection hook).
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  // Drops the bank and cache when the graph mutated since the last call.
+  void SyncWithGraph();
+
+  // Resolves reliabilities for `pairs` (deduplicated (s, t) keys), filling
+  // `resolved` and `stats`. Runs floods / per-pair estimates as configured.
+  void ResolvePairs(const std::vector<StQuery>& pairs,
+                    std::unordered_map<uint64_t, double>* resolved,
+                    BatchStats* stats);
+
+  static uint64_t PairKey(NodeId s, NodeId t) {
+    return (static_cast<uint64_t>(s) << 32) | t;
+  }
+
+  // True when the shared-world path is active (MC estimator, reuse enabled,
+  // bank footprint under the cap).
+  bool UseSharedWorlds() const;
+
+  const UncertainGraph& graph_;
+  QueryEngineOptions options_;
+  uint64_t graph_version_;
+  std::unique_ptr<WorldBank> bank_;
+  std::vector<EdgeId> all_edges_;
+  // pair key -> reliability, valid for graph_version_ only.
+  std::unordered_map<uint64_t, double> cache_;
+};
+
+}  // namespace relmax
+
+#endif  // RELMAX_QUERY_QUERY_ENGINE_H_

@@ -220,6 +220,20 @@ std::string WriteTwoClusterGraph() {
   return path;
 }
 
+// Batch query workload for the Example-3 graph, exercising comments,
+// duplicate queries, and unreachable pairs.
+std::string WriteExample3Queries() {
+  const std::string path = testing::TempDir() + "/golden_example3.queries";
+  FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  std::fputs(
+      "# Example-3 batch: answered from one shared world bank\n"
+      "2 3\n2 1\n0 3\n2 3\n1 3\n",
+      f);
+  std::fclose(f);
+  return path;
+}
+
 class GoldenCliThreadSweep : public testing::TestWithParam<int> {};
 
 TEST_P(GoldenCliThreadSweep, Example3SolveAndEstimateStdoutPinned) {
@@ -240,6 +254,40 @@ TEST_P(GoldenCliThreadSweep, Example3SolveAndEstimateStdoutPinned) {
       "estimate --graph " + graph +
       " --s 2 --t 3 --samples 20000 --seed 5 --threads " + threads));
   EXPECT_EQ(estimate, "R(2, 3) = 0.3004   (20000 samples, <t> s)\n");
+}
+
+TEST_P(GoldenCliThreadSweep, Example3BatchStdoutPinned) {
+  const std::string graph = WriteExample3Graph();
+  const std::string queries = WriteExample3Queries();
+  const std::string threads = std::to_string(GetParam());
+
+  // Shared-world path: worlds sampled once, one flood per distinct source
+  // (2, 0, 1), duplicate (2, 3) served from the deduplicated pair set.
+  const std::string batch = NormalizeTimings(RunCli(
+      "batch --graph " + graph + " --queries " + queries +
+      " --samples 20000 --seed 5 --threads " + threads));
+  EXPECT_EQ(batch,
+            "R(2, 3) = 0.3004\n"
+            "R(2, 1) = 0.9006\n"
+            "R(0, 3) = 0.0000\n"
+            "R(2, 3) = 0.3004\n"
+            "R(1, 3) = 0.0000\n"
+            "batch: 5 queries, 4 distinct pairs, 3 floods, 0 cache hits "
+            "(20000 samples, <t> s)\n");
+
+  // Per-query fallback: one estimate per distinct pair. R(2, 3) must match
+  // the `estimate` golden above exactly — the fallback IS that code path.
+  const std::string fallback = NormalizeTimings(RunCli(
+      "batch --graph " + graph + " --queries " + queries +
+      " --samples 20000 --seed 5 --reuse-worlds=0 --threads " + threads));
+  EXPECT_EQ(fallback,
+            "R(2, 3) = 0.3004\n"
+            "R(2, 1) = 0.8962\n"
+            "R(0, 3) = 0.0000\n"
+            "R(2, 3) = 0.3004\n"
+            "R(1, 3) = 0.0000\n"
+            "batch: 5 queries, 4 distinct pairs, 4 floods, 0 cache hits "
+            "(20000 samples, <t> s)\n");
 }
 
 TEST_P(GoldenCliThreadSweep, TwoClusterSolveAndEstimateStdoutPinned) {

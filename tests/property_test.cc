@@ -13,6 +13,8 @@
 #include "oracle_util.h"
 #include "paths/most_reliable_path.h"
 #include "paths/yen.h"
+#include "query/query_engine.h"
+#include "query/query_set.h"
 #include "sampling/lazy_propagation.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
@@ -228,6 +230,79 @@ TEST_P(ExactOracleConformanceSweep, EstimatorsMatchBruteForceEnumeration) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactOracleConformanceSweep,
                          testing::Range(0, 12));
+
+// ------------------------------------- batch query engine conformance sweep
+
+// The batch engine's two resolution paths against the ≤10-edge oracle
+// fixtures: the per-query fallback must reproduce EstimateReliability
+// bit-for-bit (it IS the single-query public API), and the shared-world
+// path must sit within 3σ of the brute-force enumeration while being
+// bit-identical across thread counts and batch compositions.
+class BatchQueryConformanceSweep : public testing::TestWithParam<int> {};
+
+TEST_P(BatchQueryConformanceSweep, BatchedAnswersMatchPerQueryAndOracle) {
+  const int param = GetParam();
+  const bool directed = param % 2 == 0;
+  const NodeId n = 5 + param % 3;
+  const UncertainGraph g =
+      oracle::SmallRandomGraph(2100 + param, n, 10, directed);
+  const int kSamples = 20000;
+
+  std::vector<StQuery> pairs;
+  QuerySet set;
+  for (NodeId s = 0; s < 2; ++s) {
+    for (NodeId t = 0; t < n; ++t) {
+      pairs.push_back({s, t});
+      set.AddSt(s, t);
+    }
+  }
+
+  QueryEngineOptions options;
+  options.num_samples = kSamples;
+  options.seed = 81;
+
+  // (1) Fallback path: batched answers equal per-query EstimateReliability
+  // exactly — same Z, seed, and thread count, bitwise.
+  QueryEngineOptions fallback = options;
+  fallback.reuse_worlds = false;
+  QueryEngine per_query(g, fallback);
+  const auto fallback_result = per_query.Answer(set);
+  ASSERT_TRUE(fallback_result.ok());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(fallback_result->st_values[i],
+              EstimateReliability(g, pairs[i].s, pairs[i].t,
+                                  {.num_samples = kSamples, .seed = 81}))
+        << "(" << pairs[i].s << ", " << pairs[i].t << ")";
+  }
+
+  // (2) Shared-world path: one bank for the whole batch, thread-invariant,
+  // composition-invariant, and within 3σ of the exact enumeration.
+  std::vector<double> reference;
+  for (const int threads : {1, 3}) {
+    QueryEngineOptions shared = options;
+    shared.num_threads = threads;
+    QueryEngine engine(g, shared);
+    const auto result = engine.Answer(set);
+    ASSERT_TRUE(result.ok());
+    if (reference.empty()) {
+      reference = result->st_values;
+    } else {
+      EXPECT_EQ(result->st_values, reference) << "threads = " << threads;
+    }
+  }
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    const double exact =
+        oracle::BruteForceReliability(g, pairs[i].s, pairs[i].t);
+    EXPECT_NEAR(reference[i], exact, oracle::ThreeSigma(exact, kSamples))
+        << "(" << pairs[i].s << ", " << pairs[i].t << ")";
+    QueryEngine solo(g, options);
+    EXPECT_EQ(solo.EstimateSt(pairs[i].s, pairs[i].t), reference[i])
+        << "single-query batch must agree bit-for-bit";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchQueryConformanceSweep,
+                         testing::Range(0, 8));
 
 // ------------------------------------------------------- failure injection
 

@@ -1,0 +1,335 @@
+// Batch query engine: file-format parsing, validation, shared-world
+// amortization, result caching, and the determinism contracts (thread and
+// batch-composition invariance; per-query fallback exactly equal to the
+// single-query public API).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/evaluate.h"
+#include "graph/uncertain_graph.h"
+#include "query/query_engine.h"
+#include "query/query_set.h"
+#include "sampling/reliability.h"
+#include "sampling/rss.h"
+
+namespace relmax {
+namespace {
+
+UncertainGraph RandomGraph(uint64_t seed, NodeId n, double density,
+                           bool directed) {
+  Rng rng(seed);
+  UncertainGraph g =
+      directed ? UncertainGraph::Directed(n) : UncertainGraph::Undirected(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (rng.NextBernoulli(density)) {
+        EXPECT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.05, 0.95)).ok());
+      }
+    }
+  }
+  return g;
+}
+
+// ------------------------------------------------------------ QuerySet
+
+TEST(QuerySetTest, ParsesPairsCommentsAndBlankLines) {
+  const auto set = QuerySet::Parse(
+      "# header comment\n"
+      "0 3\n"
+      "\n"
+      "  2 1   # trailing comment\n"
+      "4 4\r\n");
+  ASSERT_TRUE(set.ok()) << set.status().ToString();
+  ASSERT_EQ(set->st_queries().size(), 3u);
+  EXPECT_EQ(set->st_queries()[0], (StQuery{0, 3}));
+  EXPECT_EQ(set->st_queries()[1], (StQuery{2, 1}));
+  EXPECT_EQ(set->st_queries()[2], (StQuery{4, 4}));
+}
+
+TEST(QuerySetTest, RejectsMalformedLines) {
+  EXPECT_FALSE(QuerySet::Parse("0\n").ok());
+  EXPECT_FALSE(QuerySet::Parse("0 1 2\n").ok());
+  EXPECT_FALSE(QuerySet::Parse("a b\n").ok());
+  EXPECT_FALSE(QuerySet::Parse("# only comments\n\n").ok());
+  EXPECT_FALSE(QuerySet::Parse(std::string("0 1\n\0 2\n", 8)).ok());
+  // Ids that do not fit NodeId must fail loudly, not wrap to another node;
+  // signs are rejected outright (sscanf would silently wrap "-1").
+  EXPECT_FALSE(QuerySet::Parse("4294967296 1\n").ok());
+  EXPECT_FALSE(QuerySet::Parse("-1 2\n").ok());
+  EXPECT_FALSE(QuerySet::Parse("+1 2\n").ok());
+  EXPECT_TRUE(QuerySet::Parse("4294967295 1\n").ok());  // == NodeId max
+}
+
+TEST(QuerySetTest, ValidateCatchesBadQueries) {
+  const UncertainGraph g = RandomGraph(1, 5, 0.5, true);
+  QuerySet out_of_range;
+  out_of_range.AddSt(0, 5);
+  EXPECT_FALSE(out_of_range.Validate(g).ok());
+
+  QuerySet empty_aggregate;
+  empty_aggregate.AddAggregate({{}, {1}, Aggregate::kAverage});
+  EXPECT_FALSE(empty_aggregate.Validate(g).ok());
+
+  QuerySet bad_k;
+  bad_k.AddTopK({{{0, 1}}, 0});
+  EXPECT_FALSE(bad_k.Validate(g).ok());
+
+  QuerySet ok;
+  ok.AddSt(0, 4);
+  ok.AddAggregate({{0, 1}, {3, 4}, Aggregate::kMinimum});
+  ok.AddTopK({{{0, 1}, {0, 2}}, 1});
+  EXPECT_TRUE(ok.Validate(g).ok());
+}
+
+// --------------------------------------------------------- QueryEngine
+
+QueryEngineOptions EngineOptions(int num_samples = 2000, uint64_t seed = 7) {
+  QueryEngineOptions options;
+  options.num_samples = num_samples;
+  options.seed = seed;
+  return options;
+}
+
+TEST(QueryEngineTest, PerQueryFallbackEqualsEstimateReliabilityExactly) {
+  for (const bool directed : {false, true}) {
+    const UncertainGraph g = RandomGraph(11, 12, 0.25, directed);
+    QueryEngineOptions options = EngineOptions();
+    options.reuse_worlds = false;
+    QueryEngine engine(g, options);
+    QuerySet set;
+    for (NodeId t = 1; t < 8; ++t) set.AddSt(0, t);
+    const auto result = engine.Answer(set);
+    ASSERT_TRUE(result.ok());
+    for (NodeId t = 1; t < 8; ++t) {
+      const double expected = EstimateReliability(
+          g, 0, t,
+          {.num_samples = options.num_samples, .seed = options.seed});
+      // Bitwise equality: the fallback IS the single-query public API.
+      EXPECT_EQ(result->st_values[t - 1], expected) << "t = " << t;
+    }
+  }
+}
+
+TEST(QueryEngineTest, RssEstimatorEqualsEstimateReliabilityRssExactly) {
+  const UncertainGraph g = RandomGraph(13, 10, 0.3, true);
+  QueryEngineOptions options = EngineOptions(1000);
+  options.estimator = Estimator::kRss;
+  QueryEngine engine(g, options);
+  QuerySet set;
+  set.AddSt(0, 9);
+  set.AddSt(1, 8);
+  const auto result = engine.Answer(set);
+  ASSERT_TRUE(result.ok());
+  RssOptions rss = options.rss;
+  rss.num_samples = options.num_samples;
+  rss.seed = options.seed;
+  rss.num_threads = options.num_threads;
+  EXPECT_EQ(result->st_values[0], EstimateReliabilityRss(g, 0, 9, rss));
+  EXPECT_EQ(result->st_values[1], EstimateReliabilityRss(g, 1, 8, rss));
+}
+
+TEST(QueryEngineTest, SharedWorldAnswersAreThreadInvariant) {
+  const UncertainGraph g = RandomGraph(17, 20, 0.15, false);
+  QuerySet set;
+  for (NodeId s = 0; s < 4; ++s) {
+    for (NodeId t = 10; t < 20; ++t) set.AddSt(s, t);
+  }
+  std::vector<double> reference;
+  for (const int threads : {1, 2, 4}) {
+    QueryEngineOptions options = EngineOptions();
+    options.num_threads = threads;
+    QueryEngine engine(g, options);
+    const auto result = engine.Answer(set);
+    ASSERT_TRUE(result.ok());
+    if (reference.empty()) {
+      reference = result->st_values;
+    } else {
+      EXPECT_EQ(result->st_values, reference) << "threads = " << threads;
+    }
+  }
+}
+
+TEST(QueryEngineTest, AnswersAreIndependentOfBatchComposition) {
+  const UncertainGraph g = RandomGraph(19, 15, 0.2, true);
+  QuerySet batch;
+  for (NodeId s = 0; s < 3; ++s) {
+    for (NodeId t = 5; t < 15; ++t) batch.AddSt(s, t);
+  }
+  QueryEngine batched(g, EngineOptions());
+  const auto result = batched.Answer(batch);
+  ASSERT_TRUE(result.ok());
+  size_t i = 0;
+  for (NodeId s = 0; s < 3; ++s) {
+    for (NodeId t = 5; t < 15; ++t, ++i) {
+      // A fresh engine answering only this pair must agree bit-for-bit:
+      // every answer is a pure function of (graph, estimator, seed, Z,
+      // query), not of what else was in the batch.
+      QueryEngine solo(g, EngineOptions());
+      EXPECT_EQ(solo.EstimateSt(s, t), result->st_values[i])
+          << "(" << s << ", " << t << ")";
+    }
+  }
+}
+
+TEST(QueryEngineTest, SharedWorldAnswersMatchWorldBankFraction) {
+  // The shared path is definitionally the WorldBank connected fraction.
+  const UncertainGraph g = RandomGraph(23, 10, 0.3, false);
+  QueryEngine engine(g, EngineOptions(1280, 3));
+  const WorldBank bank(g, {.num_samples = 1280, .seed = 3});
+  for (NodeId t = 1; t < 10; ++t) {
+    EXPECT_EQ(engine.EstimateSt(0, t),
+              bank.ConnectedFraction(0, t, bank.AllEdges(), {}))
+        << "t = " << t;
+  }
+}
+
+TEST(QueryEngineTest, SourceEqualsTargetIsCertain) {
+  const UncertainGraph g = RandomGraph(29, 6, 0.3, true);
+  for (const bool reuse : {true, false}) {
+    QueryEngineOptions options = EngineOptions(128);
+    options.reuse_worlds = reuse;
+    QueryEngine engine(g, options);
+    EXPECT_DOUBLE_EQ(engine.EstimateSt(3, 3), 1.0);
+  }
+}
+
+TEST(QueryEngineTest, CachesAcrossAnswerCallsUntilGraphMutates) {
+  UncertainGraph g = RandomGraph(31, 10, 0.3, false);
+  QueryEngine engine(g, EngineOptions(512));
+  QuerySet set;
+  set.AddSt(0, 9);
+  set.AddSt(1, 9);
+  set.AddSt(0, 9);  // duplicate inside one batch
+
+  const auto first = engine.Answer(set);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->stats.num_queries, 3u);
+  EXPECT_EQ(first->stats.distinct_pairs, 2u);
+  EXPECT_EQ(first->stats.cache_hits, 0u);
+  EXPECT_EQ(first->stats.floods, 2u);  // two distinct sources
+  EXPECT_EQ(engine.cache_size(), 2u);
+  EXPECT_EQ(first->st_values[0], first->st_values[2]);
+
+  const auto second = engine.Answer(set);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->stats.cache_hits, 2u);
+  EXPECT_EQ(second->stats.floods, 0u);  // fully served from the cache
+  EXPECT_EQ(second->st_values, first->st_values);
+
+  // Any graph mutation invalidates the memoized answers wholesale.
+  const Edge edge = g.EdgesById()[0];
+  ASSERT_TRUE(g.UpdateEdgeProb(edge.src, edge.dst, 1.0).ok());
+  const auto third = engine.Answer(set);
+  ASSERT_TRUE(third.ok());
+  EXPECT_EQ(third->stats.cache_hits, 0u);
+  EXPECT_EQ(third->stats.floods, 2u);
+  EXPECT_EQ(engine.cache_size(), 2u);
+}
+
+TEST(QueryEngineTest, CacheCanBeDisabled) {
+  const UncertainGraph g = RandomGraph(37, 8, 0.3, true);
+  QueryEngineOptions options = EngineOptions(256);
+  options.cache_results = false;
+  QueryEngine engine(g, options);
+  QuerySet set;
+  set.AddSt(0, 7);
+  ASSERT_TRUE(engine.Answer(set).ok());
+  EXPECT_EQ(engine.cache_size(), 0u);
+  const auto again = engine.Answer(set);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->stats.cache_hits, 0u);
+}
+
+TEST(QueryEngineTest, AggregateEqualsAggregateOfPairAnswers) {
+  const UncertainGraph g = RandomGraph(41, 12, 0.25, false);
+  QueryEngine engine(g, EngineOptions());
+  const std::vector<NodeId> sources = {0, 1, 2};
+  const std::vector<NodeId> targets = {9, 10, 11};
+  QuerySet set;
+  for (const Aggregate agg :
+       {Aggregate::kAverage, Aggregate::kMinimum, Aggregate::kMaximum}) {
+    set.AddAggregate({sources, targets, agg});
+  }
+  const auto result = engine.Answer(set);
+  ASSERT_TRUE(result.ok());
+  std::vector<std::vector<double>> matrix(sources.size());
+  for (size_t i = 0; i < sources.size(); ++i) {
+    for (const NodeId t : targets) {
+      matrix[i].push_back(engine.EstimateSt(sources[i], t));
+    }
+  }
+  EXPECT_EQ(result->aggregate_values[0],
+            AggregateMatrix(matrix, Aggregate::kAverage));
+  EXPECT_EQ(result->aggregate_values[1],
+            AggregateMatrix(matrix, Aggregate::kMinimum));
+  EXPECT_EQ(result->aggregate_values[2],
+            AggregateMatrix(matrix, Aggregate::kMaximum));
+}
+
+TEST(QueryEngineTest, TopKRanksByReliabilityWithStableTies) {
+  // Deterministic graph (p ∈ {0, 1}) so the ranking is exact: candidates
+  // with equal reliability must keep their list order.
+  UncertainGraph g = UncertainGraph::Directed(5);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(0, 3, 0.0).ok());
+  QueryEngine engine(g, EngineOptions(64));
+  QuerySet set;
+  set.AddTopK({{{0, 3}, {0, 1}, {0, 2}, {0, 4}}, 3});
+  const auto result = engine.Answer(set);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->top_k.size(), 1u);
+  const auto& ranked = result->top_k[0];
+  ASSERT_EQ(ranked.size(), 3u);
+  // (0,1) and (0,2) tie at 1.0 and keep candidate order; (0,3) ties (0,4)
+  // at 0.0 and precedes it, so rank 3 is candidate index 0.
+  EXPECT_EQ(ranked[0].first, 1u);
+  EXPECT_DOUBLE_EQ(ranked[0].second, 1.0);
+  EXPECT_EQ(ranked[1].first, 2u);
+  EXPECT_DOUBLE_EQ(ranked[1].second, 1.0);
+  EXPECT_EQ(ranked[2].first, 0u);
+  EXPECT_DOUBLE_EQ(ranked[2].second, 0.0);
+
+  // k larger than the candidate list clamps.
+  QuerySet big_k;
+  big_k.AddTopK({{{0, 1}, {0, 2}}, 10});
+  const auto clamped = engine.Answer(big_k);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->top_k[0].size(), 2u);
+}
+
+TEST(QueryEngineTest, MixedBatchSharesFloodsAcrossQueryKinds) {
+  const UncertainGraph g = RandomGraph(43, 10, 0.3, false);
+  QueryEngine engine(g, EngineOptions(512));
+  QuerySet set;
+  set.AddSt(0, 9);
+  set.AddAggregate({{0, 1}, {8, 9}, Aggregate::kAverage});
+  set.AddTopK({{{0, 8}, {1, 9}}, 1});
+  const auto result = engine.Answer(set);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.num_queries, 3u);
+  // Pairs: (0,9), (0,8), (1,8), (1,9) — 4 distinct over 2 sources.
+  EXPECT_EQ(result->stats.distinct_pairs, 4u);
+  EXPECT_EQ(result->stats.floods, 2u);
+  // The aggregate cells, st answer, and top-k scores reuse the same pair
+  // values: the top-1 candidate's score must equal the matching st answer.
+  const StQuery& best =
+      set.top_k_queries()[0].candidates[result->top_k[0][0].first];
+  EXPECT_EQ(result->top_k[0][0].second, engine.EstimateSt(best.s, best.t));
+}
+
+TEST(QueryEngineTest, AnswerRejectsInvalidQueriesWithoutComputing) {
+  const UncertainGraph g = RandomGraph(47, 5, 0.4, true);
+  QueryEngine engine(g, EngineOptions(64));
+  QuerySet set;
+  set.AddSt(0, 99);
+  EXPECT_FALSE(engine.Answer(set).ok());
+  EXPECT_EQ(engine.cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace relmax

@@ -7,11 +7,13 @@
 //   relmax multi    --graph graph.txt --sources 1,2 --targets 8,9
 //                   --aggregate min --k 10
 //   relmax budget   --graph graph.txt --s 3 --t 99 --budget 2.0 --max-edges 5
+//   relmax batch    --graph graph.txt --queries queries.txt [--estimator rss]
 //
 // Every command accepts --seed and prints deterministic results. Sampling
 // commands accept --threads N (0 = all cores); results do not depend on it.
 // Greedy solvers accept --reuse-worlds=0 to disable the shared possible-world
-// bank (common random numbers) and re-sample per evaluation instead.
+// bank (common random numbers) and re-sample per evaluation instead; `batch`
+// honors the same flag for its shared multi-query world bank.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -27,6 +29,8 @@
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "query/query_engine.h"
+#include "query/query_set.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
 
@@ -40,7 +44,7 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: relmax <gen|stats|estimate|solve|multi|budget> "
+               "usage: relmax <gen|stats|estimate|solve|multi|budget|batch> "
                "[--flags]\n"
                "run with a command to see its required flags\n");
   return 2;
@@ -265,6 +269,41 @@ int CmdBudget(const Flags& flags) {
   return 0;
 }
 
+// Answers every query in --queries FILE (one `s t` per line, `#` comments)
+// from one shared set of sampled worlds. One result row per query, in file
+// order, then a stats line; rows are bit-identical for any --threads.
+int CmdBatch(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const std::string queries_path = flags.GetString("queries", "");
+  if (queries_path.empty()) return Fail("batch requires --queries FILE");
+  auto set = QuerySet::FromFile(queries_path);
+  if (!set.ok()) return Fail(set.status().ToString());
+  QueryEngineOptions options;
+  options.num_samples = static_cast<int>(flags.GetInt("samples", 2000));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.reuse_worlds = flags.GetBool("reuse-worlds", true);
+  const auto estimator = ParseEstimator(flags);
+  if (!estimator.ok()) return Fail(estimator.status().ToString());
+  options.estimator = *estimator;
+  QueryEngine engine(*graph, options);
+  WallTimer timer;
+  auto result = engine.Answer(*set);
+  if (!result.ok()) return Fail(result.status().ToString());
+  const std::vector<StQuery>& st = set->st_queries();
+  for (size_t i = 0; i < st.size(); ++i) {
+    std::printf("R(%u, %u) = %.4f\n", st[i].s, st[i].t, result->st_values[i]);
+  }
+  std::printf(
+      "batch: %zu queries, %zu distinct pairs, %zu floods, "
+      "%zu cache hits (%d samples, %.3f s)\n",
+      result->stats.num_queries, result->stats.distinct_pairs,
+      result->stats.floods, result->stats.cache_hits, options.num_samples,
+      timer.ElapsedSeconds());
+  return 0;
+}
+
 }  // namespace
 }  // namespace relmax
 
@@ -278,5 +317,6 @@ int main(int argc, char** argv) {
   if (command == "solve") return relmax::CmdSolve(flags);
   if (command == "multi") return relmax::CmdMulti(flags);
   if (command == "budget") return relmax::CmdBudget(flags);
+  if (command == "batch") return relmax::CmdBatch(flags);
   return relmax::Usage();
 }
