@@ -96,8 +96,8 @@ SizeResult RunSize(const UncertainGraph& g, int num_sources, int num_targets,
                 cached->st_values == batched->st_values;
   for (size_t i = 0; r.identical && i < pairs.size(); i += 8) {
     QueryEngine solo(g, options);
-    r.identical = solo.EstimateSt(pairs[i].s, pairs[i].t) ==
-                  batched->st_values[i];
+    const auto value = solo.EstimateSt(pairs[i].s, pairs[i].t);
+    r.identical = value.ok() && *value == batched->st_values[i];
   }
   return r;
 }

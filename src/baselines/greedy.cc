@@ -81,8 +81,10 @@ class CandidateWorldScorer {
   /// as edges are committed, so the previous round's bits stay valid and
   /// seed the fixpoint.
   void BeginRound() {
-    bank_.ReachabilityFixpoint(s_, /*backward=*/false, active_, &from_s_);
-    bank_.ReachabilityFixpoint(t_, /*backward=*/true, active_, &to_t_);
+    bank_.ReachabilityFixpoint(s_, /*backward=*/false, active_, &from_s_,
+                               WorldBank::SeedPolicy::kSeedsAreFacts);
+    bank_.ReachabilityFixpoint(t_, /*backward=*/true, active_, &to_t_,
+                               WorldBank::SeedPolicy::kSeedsAreFacts);
     connected_ = from_s_[t_];
     base_hits_ = WorldBank::CountBits(connected_,
                                       static_cast<size_t>(bank_.num_worlds()));

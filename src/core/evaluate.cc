@@ -207,7 +207,8 @@ double PathSetEvaluator::Reliability(const std::vector<int>& selected,
     // Word-parallel sweeps settle the remaining worlds, where only a
     // combination of partial paths can connect s to t.
     impl.bank->ReachabilityFixpoint(impl.universe.s(), /*backward=*/false,
-                                    impl.active, &impl.reach);
+                                    impl.active, &impl.reach,
+                                    WorldBank::SeedPolicy::kSeedsAreFacts);
   }
   return static_cast<double>(WorldBank::CountBits(
              impl.reach[t], static_cast<size_t>(num_worlds))) /

@@ -35,9 +35,58 @@ QueryEngine::QueryEngine(const UncertainGraph& g,
 void QueryEngine::SyncWithGraph() {
   if (graph_.version() == graph_version_) return;
   graph_version_ = graph_.version();
-  bank_.reset();
-  all_edges_.clear();
+  // Memoized answers depend on edge probabilities: always stale.
   cache_.clear();
+  cache_order_.clear();
+  if (index_ != nullptr && UseIndex() && GraphExtendsIndexedShape()) {
+    // Incremental maintenance: resample the bank — its bits are a pure
+    // function of (probs, Z, seed), so this is exactly what a fresh engine
+    // would hold — and relabel only the worlds whose edge presence changed.
+    auto fresh = std::make_unique<WorldBank>(
+        graph_, WorldBank::Options{.num_samples = options_.num_samples,
+                                   .seed = options_.seed,
+                                   .num_threads = options_.num_threads});
+    index_->ApplyBankUpdate(*fresh,
+                            ReliabilityIndex::DiffWorlds(*bank_, *fresh));
+    bank_ = std::move(fresh);
+    all_edges_ = bank_->AllEdges();
+    indexed_nodes_ = graph_.num_nodes();
+    indexed_endpoints_.clear();
+    for (const Edge& e : graph_.EdgesById()) {
+      indexed_endpoints_.emplace_back(e.src, e.dst);
+    }
+    return;
+  }
+  bank_.reset();
+  index_.reset();
+  all_edges_.clear();
+}
+
+void QueryEngine::EnsureBank() {
+  if (bank_ != nullptr) return;
+  bank_ = std::make_unique<WorldBank>(
+      graph_, WorldBank::Options{.num_samples = options_.num_samples,
+                                 .seed = options_.seed,
+                                 .num_threads = options_.num_threads});
+  all_edges_ = bank_->AllEdges();
+  indexed_nodes_ = graph_.num_nodes();
+  indexed_endpoints_.clear();
+  for (const Edge& e : graph_.EdgesById()) {
+    indexed_endpoints_.emplace_back(e.src, e.dst);
+  }
+}
+
+bool QueryEngine::GraphExtendsIndexedShape() const {
+  if (graph_.num_nodes() != indexed_nodes_) return false;
+  const std::vector<Edge>& edges = graph_.EdgesById();
+  if (edges.size() < indexed_endpoints_.size()) return false;
+  for (size_t e = 0; e < indexed_endpoints_.size(); ++e) {
+    if (edges[e].src != indexed_endpoints_[e].first ||
+        edges[e].dst != indexed_endpoints_[e].second) {
+      return false;
+    }
+  }
+  return true;
 }
 
 bool QueryEngine::UseSharedWorlds() const {
@@ -49,18 +98,33 @@ bool QueryEngine::UseSharedWorlds() const {
              kMaxFloodBytesPerLane;
 }
 
+bool QueryEngine::UseIndex() const {
+  return options_.use_index && UseSharedWorlds() &&
+         ReliabilityIndex::Fits(graph_, options_.num_samples, options_.index);
+}
+
 void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
                                std::unordered_map<uint64_t, double>* resolved,
                                BatchStats* stats) {
   if (pairs.empty()) return;
-  if (UseSharedWorlds()) {
-    if (bank_ == nullptr) {
-      bank_ = std::make_unique<WorldBank>(
-          graph_, WorldBank::Options{.num_samples = options_.num_samples,
-                                     .seed = options_.seed,
-                                     .num_threads = options_.num_threads});
-      all_edges_ = bank_->AllEdges();
+  if (UseIndex()) {
+    EnsureBank();
+    if (index_ == nullptr) {
+      ReliabilityIndex::Options index_options = options_.index;
+      index_options.num_threads = options_.num_threads;
+      index_ = std::make_unique<ReliabilityIndex>(*bank_, index_options);
     }
+    // Every answer is a label-plane popcount (undirected / same-SCC) or a
+    // cached reach-row popcount (directed residual); all are pure functions
+    // of the bank bits, so batch order and thread count cannot matter.
+    for (const StQuery& q : pairs) {
+      (*resolved)[PairKey(q.s, q.t)] = index_->Query(q.s, q.t);
+    }
+    stats->index_answers += pairs.size();
+    return;
+  }
+  if (UseSharedWorlds()) {
+    EnsureBank();
     // Group pair indices by source (first-appearance order, so the flood
     // schedule is a pure function of the deduplicated pair list). Every
     // value below depends only on (bank bits, source, target); the bank is
@@ -88,9 +152,7 @@ void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
         },
         [&](std::unique_ptr<std::vector<std::vector<uint64_t>>>& reach,
             size_t i) {
-          // ReachabilityFixpoint keeps pre-set bits as facts, so the scratch
-          // must be wiped between sources (clear() forces the re-assign).
-          reach->clear();
+          // The fixpoint wipes the reused scratch itself (kClearScratch).
           bank.ReachabilityFixpoint(sources[i], /*backward=*/false,
                                     all_edges_, reach.get());
           for (size_t idx : pairs_of_source[i]) {
@@ -127,7 +189,7 @@ void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
           EstimateReliability(graph_, q.s, q.t, mc);
     }
   }
-  stats->floods += pairs.size();
+  stats->fallback_estimates += pairs.size();
 }
 
 StatusOr<BatchResult> QueryEngine::Answer(const QuerySet& set) {
@@ -202,17 +264,30 @@ StatusOr<BatchResult> QueryEngine::Answer(const QuerySet& set) {
   }
 
   if (options_.cache_results) {
-    cache_.insert(resolved.begin(), resolved.end());
+    // Insert in the deterministic deduplicated `needed` order (never map
+    // iteration order), so eviction victims are identical across runs.
+    for (const StQuery& q : needed) {
+      const uint64_t key = PairKey(q.s, q.t);
+      if (cache_.emplace(key, resolved.at(key)).second) {
+        cache_order_.push_back(key);
+      }
+    }
+    while (cache_.size() > options_.max_cache_entries &&
+           !cache_order_.empty()) {
+      cache_.erase(cache_order_.front());
+      cache_order_.pop_front();
+      ++result.stats.cache_evictions;
+    }
   }
   result.stats.seconds = timer.ElapsedSeconds();
   return result;
 }
 
-double QueryEngine::EstimateSt(NodeId s, NodeId t) {
+StatusOr<double> QueryEngine::EstimateSt(NodeId s, NodeId t) {
   QuerySet set;
   set.AddSt(s, t);
-  auto result = Answer(set);
-  RELMAX_CHECK(result.ok());
+  const StatusOr<BatchResult> result = Answer(set);
+  if (!result.ok()) return result.status();
   return result->st_values[0];
 }
 

@@ -2,6 +2,7 @@
 #define RELMAX_QUERY_QUERY_ENGINE_H_
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <unordered_map>
 #include <utility>
@@ -10,6 +11,7 @@
 #include "common/status.h"
 #include "core/types.h"
 #include "graph/uncertain_graph.h"
+#include "index/reliability_index.h"
 #include "query/query_set.h"
 #include "sampling/world_bank.h"
 
@@ -34,11 +36,24 @@ struct QueryEngineOptions {
   /// estimated independently — exactly EstimateReliability(g, s, t) under
   /// the same (Z, seed, threads).
   bool reuse_worlds = true;
+  /// Answer from the offline per-world connectivity index (src/index):
+  /// labels are built once over the shared bank and every query becomes a
+  /// popcount — bit-identical to the flood path over the same bank. Applies
+  /// on top of reuse_worlds; when the index is disabled or over its caps the
+  /// engine floods exactly as before.
+  bool use_index = false;
+  /// Footprint caps forwarded to the index (label planes, directed reach
+  /// cache). num_threads is overridden by the engine's own knob.
+  ReliabilityIndex::Options index;
   /// Remember per-pair answers across Answer() calls. Entries are keyed by
   /// the full determinism tuple — (graph version(), estimator, seed, Z,
   /// query); the first four are fixed per engine, so the cache stores
   /// (query -> value) and is dropped wholesale when the graph mutates.
   bool cache_results = true;
+  /// Entry cap for that cache: oldest first-inserted pairs are evicted once
+  /// the cap is crossed, so a long-lived engine's memory stays bounded under
+  /// serving-style workloads. Generous by default (16 bytes per entry).
+  size_t max_cache_entries = size_t{1} << 20;
   /// RSS-specific knobs when estimator == kRss (num_samples/seed/threads
   /// above override the matching RssOptions fields).
   RssOptions rss;
@@ -53,10 +68,17 @@ struct BatchStats {
   /// Pairs served from the result cache (previous Answer() calls on the
   /// same graph version).
   size_t cache_hits = 0;
-  /// Reachability floods actually run — one per distinct source among the
-  /// non-cached pairs on the shared-world path, one BFS pass per pair
-  /// otherwise.
+  /// Shared-world reachability floods actually run — one per distinct
+  /// source among the non-cached pairs.
   size_t floods = 0;
+  /// Pairs estimated independently on the per-query fallback path (shared
+  /// worlds disabled or over the footprint cap). Previously misreported
+  /// under `floods`.
+  size_t fallback_estimates = 0;
+  /// Pairs answered by the offline reliability index (no flood).
+  size_t index_answers = 0;
+  /// Result-cache entries evicted by this batch (max_cache_entries cap).
+  size_t cache_evictions = 0;
   double seconds = 0.0;
 };
 
@@ -86,9 +108,17 @@ struct BatchResult {
 /// depends only on (bank bits, source), so results are **bit-identical for
 /// any num_threads** and for any batch composition or order.
 ///
+/// With `use_index` the engine goes one step further: it builds a
+/// ReliabilityIndex (per-world component/SCC labels) over the bank once, and
+/// every query becomes a popcount with no flood at all — bit-identical to
+/// the flood path by construction. See src/index/reliability_index.h.
+///
 /// Answers are memoized: a pair asked again while the graph's version() is
 /// unchanged is free. Any mutation (AddEdge/UpdateEdgeProb/assignment)
-/// invalidates the cache and the bank wholesale on the next Answer().
+/// invalidates the cache on the next Answer(); a live index additionally
+/// attempts incremental maintenance — resample the bank, relabel only the
+/// worlds whose sampled edge presence actually changed — before falling back
+/// to a wholesale rebuild.
 ///
 /// The engine is not internally synchronized: Answer() mutates the cache,
 /// so concurrent callers must serialize (or use one engine per thread —
@@ -103,7 +133,8 @@ class QueryEngine {
   StatusOr<BatchResult> Answer(const QuerySet& set);
 
   /// Single-pair convenience: exactly Answer() of a one-query batch.
-  double EstimateSt(NodeId s, NodeId t);
+  /// Propagates validation errors (out-of-range nodes) instead of aborting.
+  StatusOr<double> EstimateSt(NodeId s, NodeId t);
 
   const UncertainGraph& graph() const { return graph_; }
   const QueryEngineOptions& options() const { return options_; }
@@ -111,9 +142,26 @@ class QueryEngine {
   /// Pairs currently memoized (test/introspection hook).
   size_t cache_size() const { return cache_.size(); }
 
+  /// The live reliability index, or nullptr when disabled / not yet built /
+  /// over its caps (test/CLI introspection hook).
+  const ReliabilityIndex* index() const { return index_.get(); }
+
  private:
-  // Drops the bank and cache when the graph mutated since the last call.
+  // Resyncs engine state after a graph mutation. The result cache always
+  // drops (answers depend on probabilities). With a live index whose graph
+  // shape is only extended (same nodes, same existing-edge endpoints), the
+  // bank is resampled — bit-identical to a fresh engine's, bank bits being a
+  // pure function of (probs, Z, seed) — and only the worlds whose edge
+  // presence changed are relabeled; otherwise bank and index drop wholesale.
   void SyncWithGraph();
+
+  // Samples the shared WorldBank if absent and snapshots the graph shape it
+  // was built against.
+  void EnsureBank();
+
+  // True when the current graph is the indexed shape plus (possibly) new
+  // edges — the prerequisite for incremental index maintenance.
+  bool GraphExtendsIndexedShape() const;
 
   // Resolves reliabilities for `pairs` (deduplicated (s, t) keys), filling
   // `resolved` and `stats`. Runs floods / per-pair estimates as configured.
@@ -129,13 +177,26 @@ class QueryEngine {
   // bank footprint under the cap).
   bool UseSharedWorlds() const;
 
+  // True when queries should resolve through the reliability index (on top
+  // of UseSharedWorlds, the label planes must fit their cap).
+  bool UseIndex() const;
+
   const UncertainGraph& graph_;
   QueryEngineOptions options_;
   uint64_t graph_version_;
   std::unique_ptr<WorldBank> bank_;
+  std::unique_ptr<ReliabilityIndex> index_;
   std::vector<EdgeId> all_edges_;
-  // pair key -> reliability, valid for graph_version_ only.
+  // Graph shape the bank was sampled against: node count plus the endpoints
+  // of every edge, in id order. Incremental maintenance requires the mutated
+  // graph to extend this shape (UpdateEdgeProb/AddEdge do; wholesale
+  // assignment usually does not).
+  NodeId indexed_nodes_ = 0;
+  std::vector<std::pair<NodeId, NodeId>> indexed_endpoints_;
+  // pair key -> reliability, valid for graph_version_ only, capped at
+  // options_.max_cache_entries with first-inserted-first-evicted order.
   std::unordered_map<uint64_t, double> cache_;
+  std::deque<uint64_t> cache_order_;
 };
 
 }  // namespace relmax

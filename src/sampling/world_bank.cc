@@ -63,11 +63,18 @@ std::vector<uint64_t> WorldBank::WorldsWithAllEdges(
 
 void WorldBank::ReachabilityFixpoint(
     NodeId source, bool backward, const std::vector<EdgeId>& active,
-    std::vector<std::vector<uint64_t>>* reach) const {
+    std::vector<std::vector<uint64_t>>* reach, SeedPolicy seeds) const {
   RELMAX_CHECK(source < universe_.num_nodes());
-  if (reach->size() != universe_.num_nodes()) {
+  if (reach->size() != universe_.num_nodes() ||
+      (!reach->empty() && reach->front().size() != world_words_)) {
     reach->assign(universe_.num_nodes(),
                   std::vector<uint64_t>(world_words_, 0));
+  } else if (seeds == SeedPolicy::kClearScratch) {
+    // The kernel owns the scratch hygiene: a size-matched buffer reused
+    // across sources is wiped here, never by caller convention.
+    for (std::vector<uint64_t>& row : *reach) {
+      std::fill(row.begin(), row.end(), 0);
+    }
   }
   std::vector<uint64_t>& at_source = (*reach)[source];
   for (size_t w = 0; w < world_words_; ++w) at_source[w] = ~uint64_t{0};
@@ -123,7 +130,9 @@ double WorldBank::ConnectedFraction(
 }
 
 std::vector<EdgeId> WorldBank::AllEdges() const {
-  std::vector<EdgeId> edges(universe_.num_edges());
+  // Sized by the bank's own rows, not universe().num_edges(): the graph may
+  // have grown edges since the bank was sampled.
+  std::vector<EdgeId> edges(up_.size());
   for (size_t e = 0; e < edges.size(); ++e) edges[e] = static_cast<EdgeId>(e);
   return edges;
 }

@@ -45,6 +45,11 @@ class WorldBank {
   int num_worlds() const { return num_worlds_; }
   const UncertainGraph& universe() const { return universe_; }
 
+  /// Edge rows in the bank — the universe's edge count **at construction**.
+  /// If the graph is mutated afterwards, universe().num_edges() can exceed
+  /// this; bank readers must size loops by this count, never the graph's.
+  size_t num_edges() const { return up_.size(); }
+
   /// Words in a world-indexed bitset (ceil(num_worlds / 64)).
   size_t world_words() const { return world_words_; }
 
@@ -61,17 +66,31 @@ class WorldBank {
   std::vector<uint64_t> WorldsWithAllEdges(
       const std::vector<EdgeId>& edges) const;
 
+  /// What the fixpoint does with bits already set in a caller-provided
+  /// `reach` scratch whose shape matches the bank.
+  enum class SeedPolicy {
+    /// Zero every non-source row first (the safe default). A scratch reused
+    /// across sources needs no caller-side clear() — stale bits from the
+    /// previous flood can never leak into the next answer.
+    kClearScratch,
+    /// Keep pre-set bits and treat them as already-reached facts. Explicit
+    /// opt-in for callers that intentionally seed the scratch: per-path
+    /// WorldsWithAllEdges bitsets OR-ed into `(*reach)[t]`, or a previous
+    /// round's flood when the active edge set only ever grows.
+    kSeedsAreFacts,
+  };
+
   /// Computes, for every world simultaneously, which nodes are reachable
   /// from `source` using only `active` edges that are up in that world:
   /// on return `(*reach)[v]` bit w is set iff v is reachable in world w.
   /// With `backward`, directed graphs propagate against arc direction
-  /// (reachability *to* `source`). `*reach` is resized to num_nodes; any
-  /// pre-set bits are kept and treated as already-reached facts — seed
-  /// `(*reach)[t]` with OR-ed per-path WorldsWithAllEdges bitsets as a fast
-  /// path. Iterating `active` in rough path order converges in ~2 passes.
-  void ReachabilityFixpoint(NodeId source, bool backward,
-                            const std::vector<EdgeId>& active,
-                            std::vector<std::vector<uint64_t>>* reach) const;
+  /// (reachability *to* `source`). `*reach` is resized to num_nodes and
+  /// zeroed unless `seeds == kSeedsAreFacts` (see SeedPolicy). Iterating
+  /// `active` in rough path order converges in ~2 passes.
+  void ReachabilityFixpoint(
+      NodeId source, bool backward, const std::vector<EdgeId>& active,
+      std::vector<std::vector<uint64_t>>* reach,
+      SeedPolicy seeds = SeedPolicy::kClearScratch) const;
 
   /// Convenience: fraction of worlds where t is reachable from s over the
   /// `active` edges (R(s, t) restricted to that edge subset), with

@@ -1,0 +1,223 @@
+// ReliabilityIndex: per-world component/SCC labels must reproduce the
+// word-parallel flood bit-for-bit (undirected and directed), incremental
+// maintenance must equal a full rebuild while touching only the affected
+// worlds, and the directed reach-row cache must evict without changing
+// answers.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+#include "index/reliability_index.h"
+#include "sampling/world_bank.h"
+
+namespace relmax {
+namespace {
+
+UncertainGraph RandomGraph(uint64_t seed, NodeId n, double density,
+                           bool directed) {
+  Rng rng(seed);
+  UncertainGraph g =
+      directed ? UncertainGraph::Directed(n) : UncertainGraph::Undirected(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (rng.NextBernoulli(density)) {
+        EXPECT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.05, 0.95)).ok());
+      }
+    }
+  }
+  return g;
+}
+
+std::vector<uint64_t> FloodRow(const WorldBank& bank, NodeId s, NodeId t) {
+  std::vector<std::vector<uint64_t>> reach;
+  bank.ReachabilityFixpoint(s, /*backward=*/false, bank.AllEdges(), &reach);
+  return reach[t];
+}
+
+TEST(ReliabilityIndexTest, ConnectedWorldsMatchFloodBitwise) {
+  for (const bool directed : {false, true}) {
+    // 200 worlds: 4 words with a partial tail, so tail masking is exercised.
+    const UncertainGraph g = RandomGraph(101, 13, 0.2, directed);
+    const WorldBank bank(g, {.num_samples = 200, .seed = 5});
+    ReliabilityIndex index(bank, {});
+    for (NodeId s = 0; s < g.num_nodes(); ++s) {
+      for (NodeId t = 0; t < g.num_nodes(); ++t) {
+        EXPECT_EQ(index.ConnectedWorlds(s, t), FloodRow(bank, s, t))
+            << "directed = " << directed << " (" << s << ", " << t << ")";
+      }
+    }
+  }
+}
+
+TEST(ReliabilityIndexTest, QueryEqualsConnectedFraction) {
+  const UncertainGraph g = RandomGraph(103, 10, 0.3, false);
+  const WorldBank bank(g, {.num_samples = 128, .seed = 9});
+  ReliabilityIndex index(bank, {});
+  for (NodeId t = 1; t < g.num_nodes(); ++t) {
+    EXPECT_EQ(index.Query(0, t),
+              bank.ConnectedFraction(0, t, bank.AllEdges(), {}))
+        << "t = " << t;
+  }
+}
+
+TEST(ReliabilityIndexTest, LabelsAreThreadInvariant) {
+  const UncertainGraph g = RandomGraph(107, 12, 0.25, true);
+  const WorldBank bank(g, {.num_samples = 320, .seed = 11});
+  ReliabilityIndex one(bank, {.num_threads = 1});
+  ReliabilityIndex four(bank, {.num_threads = 4});
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      EXPECT_EQ(one.ConnectedWorlds(s, t), four.ConnectedWorlds(s, t));
+    }
+  }
+}
+
+TEST(ReliabilityIndexTest, StronglyConnectedWorldNeedsNoFlood) {
+  // A certain 3-cycle is one SCC in every world: every pair answers from the
+  // label planes alone, so the lazy flood never runs.
+  UncertainGraph g = UncertainGraph::Directed(3);
+  ASSERT_TRUE(g.AddEdge(0, 1, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(1, 2, 1.0).ok());
+  ASSERT_TRUE(g.AddEdge(2, 0, 1.0).ok());
+  const WorldBank bank(g, {.num_samples = 96, .seed = 3});
+  ReliabilityIndex index(bank, {});
+  for (NodeId s = 0; s < 3; ++s) {
+    for (NodeId t = 0; t < 3; ++t) {
+      EXPECT_DOUBLE_EQ(index.Query(s, t), 1.0);
+    }
+  }
+  EXPECT_EQ(index.stats().reach_floods, 0u);
+}
+
+TEST(ReliabilityIndexTest, DiffWorldsFindsExactlyTheChangedWorlds) {
+  UncertainGraph g = RandomGraph(109, 8, 0.4, false);
+  const WorldBank before(g, {.num_samples = 200, .seed = 21});
+  const Edge edge = g.EdgesById()[1];
+  ASSERT_TRUE(g.UpdateEdgeProb(edge.src, edge.dst, edge.prob * 0.5).ok());
+  const WorldBank after(g, {.num_samples = 200, .seed = 21});
+
+  const std::vector<uint64_t> mask =
+      ReliabilityIndex::DiffWorlds(before, after);
+  for (int w = 0; w < 200; ++w) {
+    bool differs = false;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) {
+      if (before.EdgePresent(w, e) != after.EdgePresent(w, e)) differs = true;
+    }
+    EXPECT_EQ(((mask[w >> 6] >> (w & 63)) & 1) != 0, differs) << "w = " << w;
+  }
+  // Interior probabilities consume one draw regardless of their value, so
+  // only the updated edge's row can differ — some but not all worlds flip.
+  const int64_t affected = WorldBank::CountBits(mask, 200);
+  EXPECT_GT(affected, 0);
+  EXPECT_LT(affected, 200);
+}
+
+TEST(ReliabilityIndexTest, ApplyBankUpdateEqualsFullRebuild) {
+  for (const bool directed : {false, true}) {
+    UncertainGraph g = RandomGraph(113, 10, 0.3, directed);
+    const WorldBank before(g, {.num_samples = 256, .seed = 13});
+    ReliabilityIndex incremental(before, {});
+
+    const Edge edge = g.EdgesById()[0];
+    ASSERT_TRUE(g.UpdateEdgeProb(edge.src, edge.dst, edge.prob * 0.6).ok());
+    const WorldBank after(g, {.num_samples = 256, .seed = 13});
+    const std::vector<uint64_t> mask =
+        ReliabilityIndex::DiffWorlds(before, after);
+    incremental.ApplyBankUpdate(after, mask);
+    EXPECT_EQ(incremental.stats().incremental_updates, 1u);
+    EXPECT_EQ(incremental.stats().last_update_worlds,
+              static_cast<size_t>(WorldBank::CountBits(mask, 256)));
+    EXPECT_LT(incremental.stats().last_update_worlds, 256u);
+
+    ReliabilityIndex rebuilt(after, {});
+    for (NodeId s = 0; s < g.num_nodes(); ++s) {
+      for (NodeId t = 0; t < g.num_nodes(); ++t) {
+        EXPECT_EQ(incremental.ConnectedWorlds(s, t),
+                  rebuilt.ConnectedWorlds(s, t))
+            << "directed = " << directed << " (" << s << ", " << t << ")";
+      }
+    }
+  }
+}
+
+TEST(ReliabilityIndexTest, ApplyBankUpdateHandlesAppendedEdges) {
+  UncertainGraph g = RandomGraph(127, 9, 0.25, false);
+  const WorldBank before(g, {.num_samples = 192, .seed = 17});
+  ReliabilityIndex incremental(before, {});
+
+  NodeId u = 0, v = 1;
+  while (g.HasEdge(u, v)) {
+    if (++v == g.num_nodes()) {
+      ++u;
+      v = u + 1;
+    }
+  }
+  ASSERT_TRUE(g.AddEdge(u, v, 0.5).ok());
+  const WorldBank after(g, {.num_samples = 192, .seed = 17});
+  incremental.ApplyBankUpdate(after,
+                              ReliabilityIndex::DiffWorlds(before, after));
+
+  ReliabilityIndex rebuilt(after, {});
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      EXPECT_EQ(incremental.ConnectedWorlds(s, t),
+                rebuilt.ConnectedWorlds(s, t));
+    }
+  }
+}
+
+TEST(ReliabilityIndexTest, ReachRowCacheEvictsWithoutChangingAnswers) {
+  const UncertainGraph g = RandomGraph(131, 12, 0.25, true);
+  const WorldBank bank(g, {.num_samples = 128, .seed = 19});
+  // Cap the cache at roughly two reach rows (n rows × 2 words × 8 bytes
+  // each), so sweeping all sources must evict.
+  ReliabilityIndex::Options options;
+  options.max_reach_bytes = static_cast<size_t>(g.num_nodes()) * 2 * 8 * 2;
+  ReliabilityIndex index(bank, options);
+  for (NodeId s = 0; s < g.num_nodes(); ++s) {
+    for (NodeId t = 0; t < g.num_nodes(); ++t) {
+      EXPECT_EQ(index.ConnectedWorlds(s, t), FloodRow(bank, s, t))
+          << "(" << s << ", " << t << ")";
+    }
+  }
+  EXPECT_GT(index.stats().reach_row_evictions, 0u);
+  EXPECT_LE(index.reach_cache_bytes(), options.max_reach_bytes);
+}
+
+TEST(ReliabilityIndexTest, FitsAndFootprint) {
+  const UncertainGraph g = RandomGraph(137, 100, 0.05, false);
+  // 100 nodes -> 7 label bits; 128 worlds -> 2 words.
+  EXPECT_EQ(ReliabilityIndex::LabelBytes(100, 128), 100u * 7u * 2u * 8u);
+  ReliabilityIndex::Options roomy;
+  EXPECT_TRUE(ReliabilityIndex::Fits(g, 128, roomy));
+  ReliabilityIndex::Options tight;
+  tight.max_label_bytes = 100;
+  EXPECT_FALSE(ReliabilityIndex::Fits(g, 128, tight));
+
+  const WorldBank bank(g, {.num_samples = 128, .seed = 23});
+  ReliabilityIndex index(bank, roomy);
+  EXPECT_EQ(index.label_bytes(), ReliabilityIndex::LabelBytes(100, 128));
+  EXPECT_EQ(index.label_bits(), 7);
+}
+
+TEST(ReliabilityIndexTest, TrivialGraphs) {
+  // Single node: zero label bits, every world trivially connects s to s.
+  const UncertainGraph lonely = UncertainGraph::Directed(1);
+  const WorldBank lonely_bank(lonely, {.num_samples = 70, .seed = 1});
+  ReliabilityIndex lonely_index(lonely_bank, {});
+  EXPECT_EQ(lonely_index.label_bits(), 0);
+  EXPECT_DOUBLE_EQ(lonely_index.Query(0, 0), 1.0);
+
+  // Edgeless graph: nothing connects, self-queries stay certain.
+  const UncertainGraph empty = UncertainGraph::Undirected(5);
+  const WorldBank empty_bank(empty, {.num_samples = 64, .seed = 2});
+  ReliabilityIndex empty_index(empty_bank, {});
+  EXPECT_DOUBLE_EQ(empty_index.Query(0, 4), 0.0);
+  EXPECT_DOUBLE_EQ(empty_index.Query(3, 3), 1.0);
+}
+
+}  // namespace
+}  // namespace relmax

@@ -272,8 +272,29 @@ TEST_P(GoldenCliThreadSweep, Example3BatchStdoutPinned) {
             "R(0, 3) = 0.0000\n"
             "R(2, 3) = 0.3004\n"
             "R(1, 3) = 0.0000\n"
-            "batch: 5 queries, 4 distinct pairs, 3 floods, 0 cache hits "
+            "batch: 5 queries, 4 distinct pairs, 3 floods, "
+            "0 fallback estimates, 0 index answers, 0 cache hits "
             "(20000 samples, <t> s)\n");
+
+  // Index path: same bank, same bits — the R values must equal the
+  // shared-flood run digit for digit. 4 nodes -> 2 label bits; 20000 worlds
+  // -> 313 words -> 4 * 2 * 313 * 8 = 20032 label bytes; the build labels
+  // all 20000 worlds; the acyclic Example-3 graph has singleton SCCs, so
+  // each of the 3 distinct sources needs one lazy reach flood.
+  const std::string indexed = NormalizeTimings(RunCli(
+      "batch --graph " + graph + " --queries " + queries +
+      " --samples 20000 --seed 5 --index --threads " + threads));
+  EXPECT_EQ(indexed,
+            "R(2, 3) = 0.3004\n"
+            "R(2, 1) = 0.9006\n"
+            "R(0, 3) = 0.0000\n"
+            "R(2, 3) = 0.3004\n"
+            "R(1, 3) = 0.0000\n"
+            "batch: 5 queries, 4 distinct pairs, 0 floods, "
+            "0 fallback estimates, 4 index answers, 0 cache hits "
+            "(20000 samples, <t> s)\n"
+            "index: 20000 worlds, 2 label bits, 20032 label bytes, "
+            "20000 worlds relabeled, 3 reach floods\n");
 
   // Per-query fallback: one estimate per distinct pair. R(2, 3) must match
   // the `estimate` golden above exactly — the fallback IS that code path.
@@ -286,7 +307,8 @@ TEST_P(GoldenCliThreadSweep, Example3BatchStdoutPinned) {
             "R(0, 3) = 0.0000\n"
             "R(2, 3) = 0.3004\n"
             "R(1, 3) = 0.0000\n"
-            "batch: 5 queries, 4 distinct pairs, 4 floods, 0 cache hits "
+            "batch: 5 queries, 4 distinct pairs, 0 floods, "
+            "4 fallback estimates, 0 index answers, 0 cache hits "
             "(20000 samples, <t> s)\n");
 }
 

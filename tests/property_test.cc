@@ -296,8 +296,23 @@ TEST_P(BatchQueryConformanceSweep, BatchedAnswersMatchPerQueryAndOracle) {
     EXPECT_NEAR(reference[i], exact, oracle::ThreeSigma(exact, kSamples))
         << "(" << pairs[i].s << ", " << pairs[i].t << ")";
     QueryEngine solo(g, options);
-    EXPECT_EQ(solo.EstimateSt(pairs[i].s, pairs[i].t), reference[i])
+    EXPECT_EQ(solo.EstimateSt(pairs[i].s, pairs[i].t).value(), reference[i])
         << "single-query batch must agree bit-for-bit";
+  }
+
+  // (3) Index path: per-world component/SCC labels over the same bank must
+  // reproduce the shared-flood answers bit-for-bit (hence also within 3σ of
+  // the oracle), for any thread count.
+  for (const int threads : {1, 3}) {
+    QueryEngineOptions indexed = options;
+    indexed.use_index = true;
+    indexed.num_threads = threads;
+    QueryEngine engine(g, indexed);
+    const auto result = engine.Answer(set);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->st_values, reference) << "index, threads = " << threads;
+    EXPECT_EQ(result->stats.floods, 0u);
+    EXPECT_EQ(result->stats.index_answers, result->stats.distinct_pairs);
   }
 }
 

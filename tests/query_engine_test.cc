@@ -169,7 +169,7 @@ TEST(QueryEngineTest, AnswersAreIndependentOfBatchComposition) {
       // every answer is a pure function of (graph, estimator, seed, Z,
       // query), not of what else was in the batch.
       QueryEngine solo(g, EngineOptions());
-      EXPECT_EQ(solo.EstimateSt(s, t), result->st_values[i])
+      EXPECT_EQ(solo.EstimateSt(s, t).value(), result->st_values[i])
           << "(" << s << ", " << t << ")";
     }
   }
@@ -181,7 +181,7 @@ TEST(QueryEngineTest, SharedWorldAnswersMatchWorldBankFraction) {
   QueryEngine engine(g, EngineOptions(1280, 3));
   const WorldBank bank(g, {.num_samples = 1280, .seed = 3});
   for (NodeId t = 1; t < 10; ++t) {
-    EXPECT_EQ(engine.EstimateSt(0, t),
+    EXPECT_EQ(engine.EstimateSt(0, t).value(),
               bank.ConnectedFraction(0, t, bank.AllEdges(), {}))
         << "t = " << t;
   }
@@ -193,7 +193,7 @@ TEST(QueryEngineTest, SourceEqualsTargetIsCertain) {
     QueryEngineOptions options = EngineOptions(128);
     options.reuse_worlds = reuse;
     QueryEngine engine(g, options);
-    EXPECT_DOUBLE_EQ(engine.EstimateSt(3, 3), 1.0);
+    EXPECT_DOUBLE_EQ(engine.EstimateSt(3, 3).value(), 1.0);
   }
 }
 
@@ -259,7 +259,7 @@ TEST(QueryEngineTest, AggregateEqualsAggregateOfPairAnswers) {
   std::vector<std::vector<double>> matrix(sources.size());
   for (size_t i = 0; i < sources.size(); ++i) {
     for (const NodeId t : targets) {
-      matrix[i].push_back(engine.EstimateSt(sources[i], t));
+      matrix[i].push_back(engine.EstimateSt(sources[i], t).value());
     }
   }
   EXPECT_EQ(result->aggregate_values[0],
@@ -319,7 +319,8 @@ TEST(QueryEngineTest, MixedBatchSharesFloodsAcrossQueryKinds) {
   // values: the top-1 candidate's score must equal the matching st answer.
   const StQuery& best =
       set.top_k_queries()[0].candidates[result->top_k[0][0].first];
-  EXPECT_EQ(result->top_k[0][0].second, engine.EstimateSt(best.s, best.t));
+  EXPECT_EQ(result->top_k[0][0].second,
+            engine.EstimateSt(best.s, best.t).value());
 }
 
 TEST(QueryEngineTest, AnswerRejectsInvalidQueriesWithoutComputing) {
@@ -329,6 +330,122 @@ TEST(QueryEngineTest, AnswerRejectsInvalidQueriesWithoutComputing) {
   set.AddSt(0, 99);
   EXPECT_FALSE(engine.Answer(set).ok());
   EXPECT_EQ(engine.cache_size(), 0u);
+}
+
+TEST(QueryEngineTest, EstimateStPropagatesValidationErrors) {
+  // Out-of-range nodes must surface as a Status, not abort the process
+  // (EstimateSt used to RELMAX_CHECK the batch result).
+  const UncertainGraph g = RandomGraph(53, 5, 0.4, false);
+  QueryEngine engine(g, EngineOptions(64));
+  const auto bad_target = engine.EstimateSt(0, 99);
+  EXPECT_FALSE(bad_target.ok());
+  EXPECT_EQ(bad_target.status().code(), StatusCode::kInvalidArgument);
+  const auto bad_source = engine.EstimateSt(99, 0);
+  EXPECT_FALSE(bad_source.ok());
+  // The engine stays usable after a rejected query.
+  EXPECT_DOUBLE_EQ(engine.EstimateSt(0, 0).value(), 1.0);
+}
+
+TEST(QueryEngineTest, CacheEvictionKeepsEntryCapAndCountsEvictions) {
+  const UncertainGraph g = RandomGraph(59, 12, 0.3, false);
+  QueryEngineOptions options = EngineOptions(128);
+  options.max_cache_entries = 4;
+  QueryEngine engine(g, options);
+  QuerySet set;
+  for (NodeId t = 1; t < 10; ++t) set.AddSt(0, t);  // 9 distinct pairs
+  const auto result = engine.Answer(set);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.cache_evictions, 5u);  // 9 inserted, 4 kept
+  EXPECT_EQ(engine.cache_size(), 4u);
+  // The survivors are the 5 most recently inserted minus the first one —
+  // i.e. pairs (0,6)..(0,9); asking those again is pure cache hits while
+  // the evicted ones recompute, and values stay bit-identical either way.
+  const auto again = engine.Answer(set);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->stats.cache_hits, 4u);
+  EXPECT_EQ(again->st_values, result->st_values);
+  EXPECT_EQ(engine.cache_size(), 4u);
+}
+
+TEST(QueryEngineTest, FallbackPathCountsEstimatesNotFloods) {
+  const UncertainGraph g = RandomGraph(61, 8, 0.3, true);
+  QueryEngineOptions options = EngineOptions(128);
+  options.reuse_worlds = false;
+  QueryEngine engine(g, options);
+  QuerySet set;
+  set.AddSt(0, 7);
+  set.AddSt(1, 7);
+  const auto result = engine.Answer(set);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.fallback_estimates, 2u);
+  EXPECT_EQ(result->stats.floods, 0u);  // no shared-world flood ran
+  EXPECT_EQ(result->stats.index_answers, 0u);
+}
+
+TEST(QueryEngineTest, IndexAnswersMatchFloodPathBitwise) {
+  for (const bool directed : {false, true}) {
+    const UncertainGraph g = RandomGraph(67, 14, 0.2, directed);
+    QuerySet set;
+    for (NodeId s = 0; s < 5; ++s) {
+      for (NodeId t = 7; t < 14; ++t) set.AddSt(s, t);
+    }
+    QueryEngine flood(g, EngineOptions(512));
+    QueryEngineOptions indexed_options = EngineOptions(512);
+    indexed_options.use_index = true;
+    QueryEngine indexed(g, indexed_options);
+    const auto flood_result = flood.Answer(set);
+    const auto index_result = indexed.Answer(set);
+    ASSERT_TRUE(flood_result.ok());
+    ASSERT_TRUE(index_result.ok());
+    // Bit-identical, not statistically close: both paths read the same
+    // sampled worlds exactly.
+    EXPECT_EQ(index_result->st_values, flood_result->st_values)
+        << "directed = " << directed;
+    EXPECT_EQ(index_result->stats.floods, 0u);
+    EXPECT_EQ(index_result->stats.index_answers,
+              index_result->stats.distinct_pairs);
+    ASSERT_NE(indexed.index(), nullptr);
+  }
+}
+
+TEST(QueryEngineTest, IndexSyncRelabelsOnlyAffectedWorlds) {
+  UncertainGraph g = RandomGraph(71, 12, 0.3, false);
+  QueryEngineOptions options = EngineOptions(512);
+  options.use_index = true;
+  QueryEngine engine(g, options);
+  QuerySet set;
+  for (NodeId t = 1; t < 12; ++t) set.AddSt(0, t);
+  ASSERT_TRUE(engine.Answer(set).ok());
+  ASSERT_NE(engine.index(), nullptr);
+  EXPECT_EQ(engine.index()->stats().builds, 1u);
+
+  // Nudge one interior probability: only the worlds whose sampled presence
+  // of that edge flips get relabeled — a small fraction of Z, not all of it.
+  const Edge edge = g.EdgesById()[0];
+  ASSERT_TRUE(g.UpdateEdgeProb(edge.src, edge.dst, edge.prob * 0.5).ok());
+  const auto after = engine.Answer(set);
+  ASSERT_TRUE(after.ok());
+  ASSERT_NE(engine.index(), nullptr);
+  const ReliabilityIndex::Stats& stats = engine.index()->stats();
+  EXPECT_EQ(stats.builds, 1u);  // incremental, not a rebuild
+  EXPECT_EQ(stats.incremental_updates, 1u);
+  EXPECT_LT(stats.last_update_worlds, 512u);
+
+  // The incrementally maintained answers equal a from-scratch engine's.
+  QueryEngine fresh(g, options);
+  const auto expected = fresh.Answer(set);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(after->st_values, expected->st_values);
+
+  // AddEdge extends the shape: still incremental, still bit-pure.
+  ASSERT_TRUE(g.AddEdge(0, 11, 0.5).ok() || g.UpdateEdgeProb(0, 11, 0.5).ok());
+  const auto extended = engine.Answer(set);
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(engine.index()->stats().builds, 1u);
+  QueryEngine fresh2(g, options);
+  const auto expected2 = fresh2.Answer(set);
+  ASSERT_TRUE(expected2.ok());
+  EXPECT_EQ(extended->st_values, expected2->st_values);
 }
 
 }  // namespace

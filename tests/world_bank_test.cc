@@ -154,7 +154,8 @@ TEST(WorldBankTest, BackwardFixpointMatchesForwardOnTranspose) {
 
 TEST(WorldBankTest, SeededReachIsKeptAndSound) {
   // Pre-seeded bits (the selection fast path: worlds where a whole path is
-  // up) must be preserved and must not change the final connected count.
+  // up) must be preserved under kSeedsAreFacts and must not change the final
+  // connected count.
   const UncertainGraph g = DiamondGraph();
   WorldBank bank(g, {.num_samples = 4096, .seed = 21, .num_threads = 1});
   const std::vector<EdgeId> active = bank.AllEdges();
@@ -168,9 +169,43 @@ TEST(WorldBankTest, SeededReachIsKeptAndSound) {
   seeded[3] = bank.WorldsWithAllEdges({0, 2});
   const std::vector<uint64_t> direct = bank.WorldsWithAllEdges({4});
   for (size_t i = 0; i < seeded[3].size(); ++i) seeded[3][i] |= direct[i];
-  bank.ReachabilityFixpoint(0, /*backward=*/false, active, &seeded);
+  bank.ReachabilityFixpoint(0, /*backward=*/false, active, &seeded,
+                            WorldBank::SeedPolicy::kSeedsAreFacts);
 
   EXPECT_EQ(seeded[3], plain[3]);
+}
+
+TEST(WorldBankTest, ReusedScratchIsWipedByDefault) {
+  // Regression: a size-matched scratch reused across sources used to keep
+  // the previous flood's bits as "facts", silently inflating the next
+  // answer. The kernel now wipes non-source rows itself under the default
+  // policy — callers need no clear() between sources.
+  const UncertainGraph g = DiamondGraph();
+  WorldBank bank(g, {.num_samples = 512, .seed = 23, .num_threads = 1});
+  const std::vector<EdgeId> active = bank.AllEdges();
+
+  std::vector<std::vector<uint64_t>> fresh;
+  bank.ReachabilityFixpoint(2, /*backward=*/false, active, &fresh);
+
+  std::vector<std::vector<uint64_t>> reused;
+  // First flood from the well-connected source 0 sets bits everywhere…
+  bank.ReachabilityFixpoint(0, /*backward=*/false, active, &reused);
+  // …which must not leak into a subsequent flood from source 2.
+  bank.ReachabilityFixpoint(2, /*backward=*/false, active, &reused);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(reused[v], fresh[v]) << "node " << v;
+  }
+
+  // Opting in keeps the seeds, growing reachability monotonically (the
+  // greedy BeginRound contract).
+  std::vector<std::vector<uint64_t>> seeded;
+  bank.ReachabilityFixpoint(0, /*backward=*/false, active, &seeded);
+  const std::vector<uint64_t> from_zero = seeded[3];
+  bank.ReachabilityFixpoint(2, /*backward=*/false, active, &seeded,
+                            WorldBank::SeedPolicy::kSeedsAreFacts);
+  for (size_t w = 0; w < bank.world_words(); ++w) {
+    EXPECT_EQ(seeded[3][w] & from_zero[w], from_zero[w]) << "word " << w;
+  }
 }
 
 }  // namespace

@@ -29,6 +29,17 @@ ENVIRONMENT_KEYS = {
     "note": str,
 }
 
+# Per-label benchmark keys that must be present (and numeric) in every
+# benchmark row of an entry with that label, so a bench harness cannot
+# silently drop the columns the trajectory analysis reads.
+LABEL_REQUIRED_KEYS = {
+    "batch_vs_naive": ("naive_seconds", "batched_seconds", "speedup",
+                       "bit_identical"),
+    "index_queries": ("naive_per_query_seconds", "flood_seconds",
+                      "index_seconds", "index_build_seconds",
+                      "speedup_index_vs_flood", "bit_identical"),
+}
+
 
 class SchemaError(Exception):
     pass
@@ -53,9 +64,10 @@ def check_environment(env, where):
         )
 
 
-def check_benchmarks(benchmarks, where):
+def check_benchmarks(benchmarks, where, label=None):
     require(isinstance(benchmarks, list) and benchmarks,
             f"{where}: benchmarks must be a non-empty array")
+    required = LABEL_REQUIRED_KEYS.get(label, ())
     for i, bench in enumerate(benchmarks):
         require(isinstance(bench, dict), f"{where}: benchmarks[{i}] not an object")
         require(isinstance(bench.get("name"), str) and bench["name"],
@@ -65,6 +77,11 @@ def check_benchmarks(benchmarks, where):
                 isinstance(value, (str, int, float, bool)),
                 f"{where}: benchmarks[{i}].{key} must be a scalar",
             )
+        for key in required:
+            require(
+                key in bench,
+                f"{where}: benchmarks[{i}] (label '{label}') missing '{key}'",
+            )
 
 
 def check_entry(entry, where):
@@ -73,7 +90,7 @@ def check_entry(entry, where):
         require(isinstance(entry.get(key), str) and entry[key],
                 f"{where}: needs a non-empty string '{key}'")
     check_environment(entry.get("environment"), where)
-    check_benchmarks(entry.get("benchmarks"), where)
+    check_benchmarks(entry.get("benchmarks"), where, entry["label"])
 
 
 def check_file(path):

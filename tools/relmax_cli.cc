@@ -8,12 +8,15 @@
 //                   --aggregate min --k 10
 //   relmax budget   --graph graph.txt --s 3 --t 99 --budget 2.0 --max-edges 5
 //   relmax batch    --graph graph.txt --queries queries.txt [--estimator rss]
+//                   [--index]
 //
 // Every command accepts --seed and prints deterministic results. Sampling
 // commands accept --threads N (0 = all cores); results do not depend on it.
 // Greedy solvers accept --reuse-worlds=0 to disable the shared possible-world
 // bank (common random numbers) and re-sample per evaluation instead; `batch`
-// honors the same flag for its shared multi-query world bank.
+// honors the same flag for its shared multi-query world bank, and with
+// --index answers from the offline per-world connectivity index
+// (bit-identical to the flood path; prints an extra `index:` stats line).
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -284,6 +287,7 @@ int CmdBatch(const Flags& flags) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   options.reuse_worlds = flags.GetBool("reuse-worlds", true);
+  options.use_index = flags.GetBool("index", false);
   const auto estimator = ParseEstimator(flags);
   if (!estimator.ok()) return Fail(estimator.status().ToString());
   options.estimator = *estimator;
@@ -297,10 +301,20 @@ int CmdBatch(const Flags& flags) {
   }
   std::printf(
       "batch: %zu queries, %zu distinct pairs, %zu floods, "
+      "%zu fallback estimates, %zu index answers, "
       "%zu cache hits (%d samples, %.3f s)\n",
       result->stats.num_queries, result->stats.distinct_pairs,
-      result->stats.floods, result->stats.cache_hits, options.num_samples,
-      timer.ElapsedSeconds());
+      result->stats.floods, result->stats.fallback_estimates,
+      result->stats.index_answers, result->stats.cache_hits,
+      options.num_samples, timer.ElapsedSeconds());
+  if (const ReliabilityIndex* index = engine.index()) {
+    const ReliabilityIndex::Stats& istats = index->stats();
+    std::printf(
+        "index: %d worlds, %d label bits, %zu label bytes, "
+        "%zu worlds relabeled, %zu reach floods\n",
+        index->num_worlds(), index->label_bits(), index->label_bytes(),
+        istats.worlds_relabeled, istats.reach_floods);
+  }
   return 0;
 }
 
