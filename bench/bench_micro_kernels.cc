@@ -13,6 +13,7 @@
 #include "paths/yen.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
+#include "sampling/world_bank.h"
 
 namespace relmax {
 namespace {
@@ -132,6 +133,41 @@ void BM_SearchSpaceElimination(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SearchSpaceElimination)->Arg(20)->Arg(50)->Arg(100);
+
+// The word-parallel reachability fixpoint — the inner kernel behind
+// WorldBank selection, batch queries, and the index's lazy reach rows. One
+// iteration floods all Z worlds from s over the full edge set into a reused
+// scratch, so worlds/sec here is the number every shared-world consumer
+// ultimately pays.
+void BM_ReachabilityFixpoint(benchmark::State& state) {
+  const auto [s, t] = TestQuery();
+  (void)t;
+  const int z = static_cast<int>(state.range(0));
+  const WorldBank bank(TestGraph().graph,
+                       {.num_samples = z, .seed = 29, .num_threads = 1});
+  const std::vector<EdgeId> active = bank.AllEdges();
+  bitlane::BitMatrix reach;
+  for (auto _ : state) {
+    bank.ReachabilityFixpoint(s, /*backward=*/false, active, &reach);
+    benchmark::DoNotOptimize(reach);
+  }
+  state.SetItemsProcessed(state.iterations() * z);
+}
+BENCHMARK(BM_ReachabilityFixpoint)->Arg(500)->Arg(2000)->Arg(8000);
+
+// Bank fill: sampling Z worlds over every edge into the bit-matrix. One
+// iteration is one full bank construction (the once-per-solve cost that
+// reuse_worlds amortizes).
+void BM_WorldBankFill(benchmark::State& state) {
+  const int z = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    WorldBank bank(TestGraph().graph,
+                   {.num_samples = z, .seed = 31, .num_threads = 1});
+    benchmark::DoNotOptimize(bank.num_worlds());
+  }
+  state.SetItemsProcessed(state.iterations() * z);
+}
+BENCHMARK(BM_WorldBankFill)->Arg(500)->Arg(2000);
 
 void BM_WorldEnsembleBuild(benchmark::State& state) {
   const auto [s, t] = TestQuery();

@@ -1,6 +1,7 @@
 #include "baselines/greedy.h"
 
 #include <algorithm>
+#include <span>
 
 #include "core/evaluate.h"
 #include "sampling/world_bank.h"
@@ -71,6 +72,8 @@ class CandidateWorldScorer {
       // Candidates are pre-validated (ValidateGreedyArgs), so every one is
       // present in g_plus — possibly as a duplicate of an existing edge.
       candidate_ids_.push_back(*g_plus_.EdgeIndexOf(c.src, c.dst));
+      // Views into the bank's rows — the bank is a member, so they stay
+      // valid for the scorer's lifetime.
       candidate_up_.push_back(bank_.EdgeUpWorlds(candidate_ids_.back()));
     }
     BeginRound();
@@ -85,7 +88,8 @@ class CandidateWorldScorer {
                                WorldBank::SeedPolicy::kSeedsAreFacts);
     bank_.ReachabilityFixpoint(t_, /*backward=*/true, active_, &to_t_,
                                WorldBank::SeedPolicy::kSeedsAreFacts);
-    connected_ = from_s_[t_];
+    const uint64_t* const at_t = from_s_.row(t_);
+    connected_.assign(at_t, at_t + bank_.world_words());
     base_hits_ = WorldBank::CountBits(connected_,
                                       static_cast<size_t>(bank_.num_worlds()));
   }
@@ -103,10 +107,10 @@ class CandidateWorldScorer {
     const NodeId u = candidates_[i].src;
     const NodeId v = candidates_[i].dst;
     const uint64_t* const up = candidate_up_[i].data();
-    const uint64_t* const from_u = from_s_[u].data();
-    const uint64_t* const from_v = from_s_[v].data();
-    const uint64_t* const to_u = to_t_[u].data();
-    const uint64_t* const to_v = to_t_[v].data();
+    const uint64_t* const from_u = from_s_.row(u);
+    const uint64_t* const from_v = from_s_.row(v);
+    const uint64_t* const to_u = to_t_.row(u);
+    const uint64_t* const to_v = to_t_.row(v);
     const bool undirected = !g_plus_.directed();
     int64_t hits = base_hits_;
     for (size_t word = 0; word < connected_.size(); ++word) {
@@ -129,12 +133,12 @@ class CandidateWorldScorer {
   NodeId t_;
   const std::vector<Edge>& candidates_;
   std::vector<EdgeId> candidate_ids_;
-  /// Per-candidate world bitset: worlds where the candidate edge is up.
-  std::vector<std::vector<uint64_t>> candidate_up_;
+  /// Per-candidate world bitset views: worlds where the candidate is up.
+  std::vector<std::span<const uint64_t>> candidate_up_;
   std::vector<EdgeId> active_;  ///< working edge set
   /// Per-node world bitsets for the current round's working set.
-  std::vector<std::vector<uint64_t>> from_s_;
-  std::vector<std::vector<uint64_t>> to_t_;
+  bitlane::BitMatrix from_s_;
+  bitlane::BitMatrix to_t_;
   std::vector<uint64_t> connected_;  ///< worlds connected under active_
   int64_t base_hits_ = 0;
 };
@@ -146,12 +150,17 @@ bool UseSharedWorlds(const UncertainGraph& g, const SolverOptions& options) {
   // The bank plus the two per-node reach tables cost roughly
   // (E + 2V) * Z / 8 bytes. The intended workload is the eliminated
   // subgraph, where this never trips; on a full-scale graph fall back to
-  // per-evaluation re-sampling instead of silently ballooning memory.
-  constexpr size_t kMaxSharedWorldBytes = size_t{1} << 28;  // 256 MB
+  // per-evaluation re-sampling instead of silently ballooning memory — but
+  // say so: the slow path is orders of magnitude more RNG work.
+  const size_t cap = options.max_shared_world_bytes;
   const size_t rows = g.num_edges() + 2 * static_cast<size_t>(g.num_nodes());
   const size_t bytes_per_row =
       (static_cast<size_t>(options.num_samples) + 63) / 64 * 8;
-  return rows * bytes_per_row <= kMaxSharedWorldBytes;
+  if (rows * bytes_per_row > cap) {
+    NoteBankFallback("greedy baseline", rows * bytes_per_row, cap);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace

@@ -136,7 +136,7 @@ struct PathSetEvaluator::Impl {
   std::vector<EdgeId> active;           ///< selected edges, in path order
   std::vector<uint32_t> edge_epoch;     ///< dedup stamp per universe edge
   uint32_t epoch = 0;
-  std::vector<std::vector<uint64_t>> reach;
+  bitlane::BitMatrix reach;
 
   Impl(const UncertainGraph& g_plus, NodeId s, NodeId t)
       : universe(g_plus, s, t) {}
@@ -151,7 +151,7 @@ struct PathSetEvaluator::Impl {
       active.push_back(e);
     }
     const std::vector<uint64_t>& up = path_up[i];
-    std::vector<uint64_t>& at_t = reach[universe.t()];
+    uint64_t* const at_t = reach.row(universe.t());
     for (size_t w = 0; w < up.size(); ++w) at_t[w] |= up[w];
   }
 };
@@ -181,8 +181,8 @@ PathSetEvaluator::PathSetEvaluator(const UncertainGraph& g_plus, NodeId s,
     impl_->path_up.push_back(impl_->bank->WorldsWithAllEdges(edges));
   }
   impl_->edge_epoch.assign(impl_->universe.num_edges(), 0);
-  impl_->reach.assign(impl_->universe.num_nodes(),
-                      std::vector<uint64_t>(impl_->bank->world_words(), 0));
+  impl_->reach.EnsureShape(impl_->universe.num_nodes(),
+                           impl_->bank->world_words());
 }
 
 PathSetEvaluator::~PathSetEvaluator() = default;
@@ -193,16 +193,14 @@ double PathSetEvaluator::Reliability(const std::vector<int>& selected,
   const int num_worlds = impl.bank->num_worlds();
   impl.active.clear();
   ++impl.epoch;
-  for (std::vector<uint64_t>& bits : impl.reach) {
-    std::fill(bits.begin(), bits.end(), 0);
-  }
+  impl.reach.Clear();
   // Fast path: worlds where some selected path is fully up are connected
   // without any propagation — MergePath ORs them straight into reach[t].
   for (int i : selected) impl.MergePath(i);
   if (extra >= 0) impl.MergePath(extra);
   const NodeId t = impl.universe.t();
-  const int64_t seeded =
-      WorldBank::CountBits(impl.reach[t], static_cast<size_t>(num_worlds));
+  const int64_t seeded = WorldBank::CountBits(impl.reach.row_span(t),
+                                              static_cast<size_t>(num_worlds));
   if (seeded < num_worlds) {
     // Word-parallel sweeps settle the remaining worlds, where only a
     // combination of partial paths can connect s to t.
@@ -211,7 +209,7 @@ double PathSetEvaluator::Reliability(const std::vector<int>& selected,
                                     WorldBank::SeedPolicy::kSeedsAreFacts);
   }
   return static_cast<double>(WorldBank::CountBits(
-             impl.reach[t], static_cast<size_t>(num_worlds))) /
+             impl.reach.row_span(t), static_cast<size_t>(num_worlds))) /
          num_worlds;
 }
 

@@ -60,6 +60,12 @@ struct SolverOptions {
   /// to the Monte Carlo estimator (RSS keeps its stratified per-evaluation
   /// streams).
   bool reuse_worlds = true;
+  /// Footprint cap for the shared-world fast path: when the bank plus its
+  /// per-node reach tables would exceed this many bytes, greedy selection
+  /// falls back to per-evaluation re-sampling (counted by BankFallbackCount
+  /// and warned once on stderr). The default comfortably covers eliminated
+  /// subgraphs; tests shrink it to exercise the fallback.
+  size_t max_shared_world_bytes = size_t{1} << 28;  // 256 MB
 };
 
 /// Timing/size breakdown reported alongside a solution — the quantities the

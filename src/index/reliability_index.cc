@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <memory>
+#include <span>
 
 #include "common/logging.h"
 #include "sampling/parallel.h"
@@ -229,12 +230,13 @@ std::vector<uint64_t> ReliabilityIndex::EqualLabelWorlds(NodeId s,
 const std::vector<uint64_t>& ReliabilityIndex::SourceReach(NodeId s) {
   const auto it = reach_cache_.find(s);
   if (it != reach_cache_.end()) return it->second;
-  std::vector<std::vector<uint64_t>> reach;
+  bitlane::BitMatrix reach;
   bank_->ReachabilityFixpoint(s, /*backward=*/false, all_edges_, &reach);
   ++stats_.reach_floods;
   std::vector<uint64_t> flat(static_cast<size_t>(num_nodes_) * world_words_);
   for (NodeId v = 0; v < num_nodes_; ++v) {
-    std::copy(reach[v].begin(), reach[v].end(),
+    const uint64_t* const row = reach.row(v);
+    std::copy(row, row + world_words_,
               flat.begin() + static_cast<size_t>(v) * world_words_);
   }
   // FIFO eviction under the byte cap. A row larger than the whole cap is
@@ -290,19 +292,20 @@ std::vector<uint64_t> ReliabilityIndex::DiffWorlds(const WorldBank& old_bank,
   const size_t new_edges = fresh.num_edges();
   const size_t common = std::min(old_edges, new_edges);
   for (size_t e = 0; e < common; ++e) {
-    const std::vector<uint64_t>& before =
+    const std::span<const uint64_t> before =
         old_bank.EdgeUpWorlds(static_cast<EdgeId>(e));
-    const std::vector<uint64_t>& after =
+    const std::span<const uint64_t> after =
         fresh.EdgeUpWorlds(static_cast<EdgeId>(e));
     for (size_t w = 0; w < world_words; ++w) mask[w] |= before[w] ^ after[w];
   }
   // Edges present in only one bank affect every world they are up in.
   for (size_t e = common; e < new_edges; ++e) {
-    const std::vector<uint64_t>& up = fresh.EdgeUpWorlds(static_cast<EdgeId>(e));
+    const std::span<const uint64_t> up =
+        fresh.EdgeUpWorlds(static_cast<EdgeId>(e));
     for (size_t w = 0; w < world_words; ++w) mask[w] |= up[w];
   }
   for (size_t e = common; e < old_edges; ++e) {
-    const std::vector<uint64_t>& up =
+    const std::span<const uint64_t> up =
         old_bank.EdgeUpWorlds(static_cast<EdgeId>(e));
     for (size_t w = 0; w < world_words; ++w) mask[w] |= up[w];
   }

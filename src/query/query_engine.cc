@@ -13,13 +13,6 @@
 namespace relmax {
 namespace {
 
-/// Shared-world footprint caps (mirroring the greedy baselines' bank cap):
-/// beyond them the engine falls back to per-query estimation rather than
-/// swapping. The bank is edges × worlds bits; each flood lane additionally
-/// holds a nodes × worlds reach matrix.
-constexpr size_t kMaxBankBytes = size_t{256} << 20;
-constexpr size_t kMaxFloodBytesPerLane = size_t{64} << 20;
-
 size_t WorldWords(int num_samples) {
   return (static_cast<size_t>(num_samples) + 63) / 64;
 }
@@ -93,9 +86,9 @@ bool QueryEngine::UseSharedWorlds() const {
   if (!options_.reuse_worlds) return false;
   if (options_.estimator != Estimator::kMonteCarlo) return false;
   const size_t words = WorldWords(options_.num_samples);
-  return graph_.num_edges() * words * 8 <= kMaxBankBytes &&
+  return graph_.num_edges() * words * 8 <= options_.max_bank_bytes &&
          static_cast<size_t>(graph_.num_nodes()) * words * 8 <=
-             kMaxFloodBytesPerLane;
+             options_.max_flood_bytes_per_lane;
 }
 
 bool QueryEngine::UseIndex() const {
@@ -147,22 +140,19 @@ void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
     const int num_worlds = bank.num_worlds();
     ForEachShard(
         sources.size(), options_.num_threads,
-        [] {
-          return std::make_unique<std::vector<std::vector<uint64_t>>>();
-        },
-        [&](std::unique_ptr<std::vector<std::vector<uint64_t>>>& reach,
-            size_t i) {
+        [] { return std::make_unique<bitlane::BitMatrix>(); },
+        [&](std::unique_ptr<bitlane::BitMatrix>& reach, size_t i) {
           // The fixpoint wipes the reused scratch itself (kClearScratch).
           bank.ReachabilityFixpoint(sources[i], /*backward=*/false,
                                     all_edges_, reach.get());
           for (size_t idx : pairs_of_source[i]) {
-            values[idx] =
-                static_cast<double>(WorldBank::CountBits(
-                    (*reach)[pairs[idx].t], static_cast<size_t>(num_worlds))) /
-                num_worlds;
+            values[idx] = static_cast<double>(WorldBank::CountBits(
+                              reach->row_span(pairs[idx].t),
+                              static_cast<size_t>(num_worlds))) /
+                          num_worlds;
           }
         },
-        [](std::unique_ptr<std::vector<std::vector<uint64_t>>>&) {});
+        [](std::unique_ptr<bitlane::BitMatrix>&) {});
     for (size_t i = 0; i < pairs.size(); ++i) {
       (*resolved)[PairKey(pairs[i].s, pairs[i].t)] = values[i];
     }
@@ -170,7 +160,23 @@ void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
     return;
   }
   // Per-query fallback: each pair is estimated independently, exactly the
-  // single-query public API under the same (Z, seed, threads).
+  // single-query public API under the same (Z, seed, threads). When the
+  // caller *asked* for shared worlds (MC + reuse_worlds) and only the
+  // footprint caps pushed us here, that is a silent 10-100x slowdown unless
+  // we surface it.
+  if (options_.reuse_worlds && options_.estimator == Estimator::kMonteCarlo) {
+    const size_t words = WorldWords(options_.num_samples);
+    const size_t bank_bytes = graph_.num_edges() * words * 8;
+    const size_t flood_bytes =
+        static_cast<size_t>(graph_.num_nodes()) * words * 8;
+    if (bank_bytes > options_.max_bank_bytes) {
+      NoteBankFallback("query engine", bank_bytes, options_.max_bank_bytes);
+    } else {
+      NoteBankFallback("query engine (flood lane)", flood_bytes,
+                       options_.max_flood_bytes_per_lane);
+    }
+    ++stats->bank_fallbacks;
+  }
   if (options_.estimator == Estimator::kRss) {
     RssOptions rss = options_.rss;
     rss.num_samples = options_.num_samples;

@@ -57,6 +57,13 @@ struct QueryEngineOptions {
   /// RSS-specific knobs when estimator == kRss (num_samples/seed/threads
   /// above override the matching RssOptions fields).
   RssOptions rss;
+  /// Footprint caps for the shared-world fast path (mirroring the greedy
+  /// baselines' bank cap): the bank is edges × worlds bits, and each flood
+  /// lane additionally holds a nodes × worlds reach matrix. Beyond either
+  /// cap the engine falls back to per-query estimation rather than swapping;
+  /// each such batch bumps BatchStats::bank_fallbacks and warns on stderr.
+  size_t max_bank_bytes = size_t{256} << 20;
+  size_t max_flood_bytes_per_lane = size_t{64} << 20;
 };
 
 /// Per-batch accounting, reported alongside the answers.
@@ -75,6 +82,12 @@ struct BatchStats {
   /// worlds disabled or over the footprint cap). Previously misreported
   /// under `floods`.
   size_t fallback_estimates = 0;
+  /// Times this batch *wanted* the shared-world fast path but fell off it
+  /// because the bank/flood footprint caps were exceeded (0 when shared
+  /// worlds are simply disabled or a non-MC estimator is configured). Each
+  /// increment also warns once on stderr; the process-wide total is
+  /// BankFallbackCount().
+  size_t bank_fallbacks = 0;
   /// Pairs answered by the offline reliability index (no flood).
   size_t index_answers = 0;
   /// Result-cache entries evicted by this batch (max_cache_entries cap).

@@ -1,0 +1,33 @@
+#include "sampling/bitlane.h"
+
+#include <atomic>
+
+namespace relmax {
+namespace bitlane {
+namespace {
+
+std::atomic<LaneMode> g_mode{LaneMode::kAuto};
+
+}  // namespace
+
+LaneMode Mode() {
+  const LaneMode mode = g_mode.load(std::memory_order_relaxed);
+  return mode == LaneMode::kAuto ? LaneMode::kBlocked : mode;
+}
+
+void SetMode(LaneMode mode) { g_mode.store(mode, std::memory_order_relaxed); }
+
+const char* ModeName(LaneMode mode) {
+  switch (mode) {
+    case LaneMode::kAuto:
+      return "auto";
+    case LaneMode::kScalar:
+      return "scalar";
+    case LaneMode::kBlocked:
+      return "blocked";
+  }
+  internal::CheckFailed("unhandled LaneMode", __FILE__, __LINE__);
+}
+
+}  // namespace bitlane
+}  // namespace relmax

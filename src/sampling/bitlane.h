@@ -1,0 +1,169 @@
+#ifndef RELMAX_SAMPLING_BITLANE_H_
+#define RELMAX_SAMPLING_BITLANE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <span>
+
+#include "common/logging.h"
+
+namespace relmax {
+namespace bitlane {
+
+/// Words per lane block: 8 × 64 bits = 512 bits = one 64-byte cache line.
+/// The blocked kernels walk whole blocks with no per-word branching, so the
+/// compiler autovectorizes them at whatever width the target ISA offers
+/// (SSE2 folds a block in 4 ops, AVX2 in 2, AVX-512 in 1), and a block load
+/// never straddles a cache line. The CI vectorization gate
+/// (tools/check_vectorization.sh) pins that PropagateBlock below actually
+/// compiles to vector code.
+inline constexpr size_t kLaneWords = 8;
+inline constexpr size_t kLaneBytes = kLaneWords * sizeof(uint64_t);
+
+/// Which inner kernel the world fixpoint runs. The result bits are
+/// identical either way — the fixpoint of the monotone word algebra
+/// (`reach[v] |= reach[u] & up[e]`) is unique regardless of evaluation
+/// order or width — which the conformance sweeps pin. The knob exists so
+/// tests can compare the paths and so codegen regressions can be bisected.
+enum class LaneMode {
+  kAuto,     ///< resolve to kBlocked
+  kScalar,   ///< one word at a time, early-exit per word (pre-SIMD kernel)
+  kBlocked,  ///< branch-free whole-block kernel (autovectorized)
+};
+
+/// Process-wide kernel selection. Mode() resolves kAuto to kBlocked.
+LaneMode Mode();
+void SetMode(LaneMode mode);
+const char* ModeName(LaneMode mode);
+
+/// RAII lane-mode override for tests.
+class ScopedLaneMode {
+ public:
+  explicit ScopedLaneMode(LaneMode mode) : saved_(Mode()) { SetMode(mode); }
+  ~ScopedLaneMode() { SetMode(saved_); }
+  ScopedLaneMode(const ScopedLaneMode&) = delete;
+  ScopedLaneMode& operator=(const ScopedLaneMode&) = delete;
+
+ private:
+  LaneMode saved_;
+};
+
+/// Blocked propagation step over one lane block:
+/// `dst |= src & up & ~dst`, returning the OR of all newly-set words (zero
+/// iff the block was already settled). Branch-free on purpose — the three
+/// loads, two ANDs, ANDNOT, OR, and the running reduction all vectorize —
+/// and `__restrict` holds because a propagation step never runs on a
+/// self-loop (src and dst are distinct rows) and `up` lives in a different
+/// matrix than either.
+inline uint64_t PropagateBlock(const uint64_t* __restrict src,
+                               const uint64_t* __restrict up,
+                               uint64_t* __restrict dst) {
+  uint64_t any = 0;
+  for (size_t i = 0; i < kLaneWords; ++i) {
+    const uint64_t add = src[i] & up[i] & ~dst[i];
+    dst[i] |= add;
+    any |= add;
+  }
+  return any;
+}
+
+/// Scalar reference for the same step: per-word early exit, no blocking.
+/// Must compute exactly the same bits as PropagateBlock (pinned by the
+/// lane-width conformance axis in the tests).
+inline uint64_t PropagateBlockScalar(const uint64_t* src, const uint64_t* up,
+                                     uint64_t* dst) {
+  uint64_t any = 0;
+  for (size_t i = 0; i < kLaneWords; ++i) {
+    const uint64_t add = src[i] & up[i] & ~dst[i];
+    if (add != 0) {
+      dst[i] |= add;
+      any |= add;
+    }
+  }
+  return any;
+}
+
+/// Dense rows × words bit matrix in one flat, 64-byte-aligned allocation —
+/// the storage behind the WorldBank's edge rows and every flood's reach
+/// scratch. Each row is padded to a whole number of lane blocks
+/// (stride_words()), so a row is a sequence of aligned blocks the blocked
+/// kernels can walk without tail cases. Padding words are zero at
+/// allocation and must stay zero: bank rows never set them, and the
+/// fixpoint cannot turn them on because `up` is zero there (add = src & up
+/// is identically zero in the pad).
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(size_t rows, size_t words) { EnsureShape(rows, words); }
+
+  BitMatrix(BitMatrix&&) = default;
+  BitMatrix& operator=(BitMatrix&&) = default;
+  BitMatrix(const BitMatrix&) = delete;
+  BitMatrix& operator=(const BitMatrix&) = delete;
+
+  /// Reallocates (zero-filled) when the logical shape differs from the
+  /// current one and returns true; returns false with contents untouched
+  /// when the shape already matches. Mirrors the reuse contract of the
+  /// fixpoint scratch: a shape-matched buffer keeps its bits unless the
+  /// caller (or SeedPolicy::kClearScratch) wipes it.
+  bool EnsureShape(size_t rows, size_t words) {
+    if (rows == rows_ && words == words_ && data_ != nullptr) return false;
+    rows_ = rows;
+    words_ = words;
+    stride_ = ((words + kLaneWords - 1) / kLaneWords) * kLaneWords;
+    const size_t total = rows_ * stride_;
+    data_.reset(static_cast<uint64_t*>(
+        ::operator new[](total * sizeof(uint64_t), std::align_val_t{
+                                                       kLaneBytes})));
+    std::memset(data_.get(), 0, total * sizeof(uint64_t));
+    return true;
+  }
+
+  /// Zeroes every bit (rows, pads and all); shape is unchanged.
+  void Clear() {
+    if (data_ != nullptr) {
+      std::memset(data_.get(), 0, rows_ * stride_ * sizeof(uint64_t));
+    }
+  }
+
+  uint64_t* row(size_t r) {
+    RELMAX_DCHECK(r < rows_);
+    return data_.get() + r * stride_;
+  }
+  const uint64_t* row(size_t r) const {
+    RELMAX_DCHECK(r < rows_);
+    return data_.get() + r * stride_;
+  }
+  /// The row's logical words (pad excluded).
+  std::span<const uint64_t> row_span(size_t r) const {
+    return {row(r), words_};
+  }
+
+  size_t rows() const { return rows_; }
+  /// Logical words per row (ceil(bits / 64) as sized by the caller).
+  size_t words() const { return words_; }
+  /// Allocated words per row: words() rounded up to whole lane blocks.
+  size_t stride_words() const { return stride_; }
+  size_t blocks_per_row() const { return stride_ / kLaneWords; }
+  bool empty() const { return data_ == nullptr; }
+
+ private:
+  struct AlignedDelete {
+    void operator()(uint64_t* p) const {
+      ::operator delete[](p, std::align_val_t{kLaneBytes});
+    }
+  };
+
+  size_t rows_ = 0;
+  size_t words_ = 0;
+  size_t stride_ = 0;
+  std::unique_ptr<uint64_t[], AlignedDelete> data_;
+};
+
+}  // namespace bitlane
+}  // namespace relmax
+
+#endif  // RELMAX_SAMPLING_BITLANE_H_

@@ -2,9 +2,11 @@
 #define RELMAX_SAMPLING_WORLD_BANK_H_
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "graph/uncertain_graph.h"
+#include "sampling/bitlane.h"
 
 namespace relmax {
 
@@ -21,13 +23,23 @@ namespace relmax {
 /// scored against the same worlds (common random numbers), greedy
 /// marginal-gain comparisons within a round share sampling noise.
 ///
+/// Storage is one flat, 64-byte-aligned bitlane::BitMatrix whose rows are
+/// whole 512-bit lane blocks, so the fixpoint inner step moves a cache line
+/// per operation and autovectorizes (see bitlane.h). The fixpoint itself is
+/// frontier-driven: it tracks which lane blocks of which nodes changed last
+/// pass and only re-propagates those, instead of re-sweeping every word of
+/// every row until quiescence.
+///
 /// Determinism: the matrix is filled by the counter-seeded sharded executor
 /// (sampling/parallel.h). Shard `i` owns worlds [i * kShardSamples, …) —
 /// exactly bit-word `i` of every edge row, since kShardSamples == 64 — and
 /// draws them from the stream seeded by ShardSeed(seed, i), so every bit is
 /// a pure function of (num_samples, seed): **bit-identical for any
-/// num_threads**. The bank is immutable after construction and safe to read
-/// from multiple threads.
+/// num_threads**. Fixpoint answers are additionally invariant to the lane
+/// kernel (scalar vs blocked/SIMD): the fixpoint of the monotone word
+/// algebra is unique, so block scheduling cannot change the converged bits.
+/// The bank is immutable after construction and safe to read from multiple
+/// threads.
 class WorldBank {
  public:
   struct Options {
@@ -48,17 +60,21 @@ class WorldBank {
   /// Edge rows in the bank — the universe's edge count **at construction**.
   /// If the graph is mutated afterwards, universe().num_edges() can exceed
   /// this; bank readers must size loops by this count, never the graph's.
-  size_t num_edges() const { return up_.size(); }
+  size_t num_edges() const { return up_.rows(); }
 
   /// Words in a world-indexed bitset (ceil(num_worlds / 64)).
   size_t world_words() const { return world_words_; }
 
   /// World-indexed bitset: the worlds in which logical edge `e` exists.
-  const std::vector<uint64_t>& EdgeUpWorlds(EdgeId e) const { return up_[e]; }
+  /// A view into the bank's row (world_words() words); valid as long as the
+  /// bank lives.
+  std::span<const uint64_t> EdgeUpWorlds(EdgeId e) const {
+    return up_.row_span(e);
+  }
 
   /// Presence of logical edge `e` in world `w`.
   bool EdgePresent(int w, EdgeId e) const {
-    return (up_[e][static_cast<size_t>(w) >> 6] >> (w & 63)) & 1u;
+    return (up_.row(e)[static_cast<size_t>(w) >> 6] >> (w & 63)) & 1u;
   }
 
   /// World-indexed bitset with bit w set iff **every** edge in `edges` is
@@ -75,21 +91,28 @@ class WorldBank {
     kClearScratch,
     /// Keep pre-set bits and treat them as already-reached facts. Explicit
     /// opt-in for callers that intentionally seed the scratch: per-path
-    /// WorldsWithAllEdges bitsets OR-ed into `(*reach)[t]`, or a previous
-    /// round's flood when the active edge set only ever grows.
+    /// WorldsWithAllEdges bitsets OR-ed into row t, or a previous round's
+    /// flood when the active edge set only ever grows.
     kSeedsAreFacts,
   };
 
   /// Computes, for every world simultaneously, which nodes are reachable
   /// from `source` using only `active` edges that are up in that world:
-  /// on return `(*reach)[v]` bit w is set iff v is reachable in world w.
+  /// on return `reach->row(v)` bit w is set iff v is reachable in world w.
   /// With `backward`, directed graphs propagate against arc direction
-  /// (reachability *to* `source`). `*reach` is resized to num_nodes and
-  /// zeroed unless `seeds == kSeedsAreFacts` (see SeedPolicy). Iterating
-  /// `active` in rough path order converges in ~2 passes.
-  void ReachabilityFixpoint(
+  /// (reachability *to* `source`). `*reach` is shaped to
+  /// (num_nodes × world_words) and zeroed unless it already matches and
+  /// `seeds == kSeedsAreFacts` (see SeedPolicy). Iterating `active` in
+  /// rough path order converges in ~2 passes.
+  ///
+  /// Returns the number of (edge, lane-block) propagation steps that
+  /// actually added bits — 0 iff the seeded state was already a fixpoint.
+  /// The frontier pass only revisits blocks dirtied since they were last
+  /// relaxed, so a converged re-run touches each seeded block once and
+  /// changes nothing.
+  int64_t ReachabilityFixpoint(
       NodeId source, bool backward, const std::vector<EdgeId>& active,
-      std::vector<std::vector<uint64_t>>* reach,
+      bitlane::BitMatrix* reach,
       SeedPolicy seeds = SeedPolicy::kClearScratch) const;
 
   /// Convenience: fraction of worlds where t is reachable from s over the
@@ -103,15 +126,26 @@ class WorldBank {
   std::vector<EdgeId> AllEdges() const;
 
   /// Popcount of a bitset, counting only bits below `limit`.
-  static int64_t CountBits(const std::vector<uint64_t>& bits, size_t limit);
+  static int64_t CountBits(std::span<const uint64_t> bits, size_t limit);
 
  private:
   const UncertainGraph& universe_;
   int num_worlds_;
   size_t world_words_;
-  /// up_[e] = world bitset for edge e (bits beyond num_worlds stay zero).
-  std::vector<std::vector<uint64_t>> up_;
+  /// Row e = world bitset for edge e (bits beyond num_worlds stay zero,
+  /// including the lane-block padding words — the fixpoint relies on it).
+  bitlane::BitMatrix up_;
 };
+
+/// Telemetry for the shared-world fast path. Consumers that want a WorldBank
+/// but exceed their footprint cap fall back to per-candidate / per-query
+/// re-sampling — correct but much slower. Each such event calls
+/// NoteBankFallback, which bumps a process-wide counter (surfaced as
+/// `bank_fallbacks` in batch stats) and prints a one-line stderr warning so
+/// operators can see they have fallen off the fast path.
+void NoteBankFallback(const char* consumer, size_t wanted_bytes,
+                      size_t cap_bytes);
+int64_t BankFallbackCount();
 
 }  // namespace relmax
 

@@ -15,6 +15,8 @@
 #include "core/evaluate.h"
 #include "graph/exact_reliability.h"
 #include "graph/uncertain_graph.h"
+#include "sampling/bitlane.h"
+#include "sampling/world_bank.h"
 
 namespace relmax {
 namespace {
@@ -209,6 +211,57 @@ TEST(GreedyTest, BudgetLargerThanPoolTakesEverything) {
   auto chosen = SelectHillClimbing(fx.g, 0, 3, fx.candidates, FastOptions(10));
   ASSERT_TRUE(chosen.ok());
   EXPECT_EQ(chosen->size(), fx.candidates.size());
+}
+
+TEST(GreedyTest, SharedWorldCapFallsBackToResampling) {
+  GreedyFixture fx;
+  SolverOptions capped = FastOptions(2);
+  capped.max_shared_world_bytes = 1;  // nothing fits: forced slow path
+  const int64_t before = BankFallbackCount();
+  auto capped_pick = SelectHillClimbing(fx.g, 0, 3, fx.candidates, capped);
+  ASSERT_TRUE(capped_pick.ok());
+  EXPECT_GT(BankFallbackCount(), before);
+
+  // The cap must route through exactly the reuse_worlds=false code, so the
+  // selections match it edge for edge.
+  SolverOptions slow = FastOptions(2);
+  slow.reuse_worlds = false;
+  auto slow_pick = SelectHillClimbing(fx.g, 0, 3, fx.candidates, slow);
+  ASSERT_TRUE(slow_pick.ok());
+  ASSERT_EQ(capped_pick->size(), slow_pick->size());
+  for (size_t i = 0; i < slow_pick->size(); ++i) {
+    EXPECT_EQ((*capped_pick)[i].src, (*slow_pick)[i].src);
+    EXPECT_EQ((*capped_pick)[i].dst, (*slow_pick)[i].dst);
+  }
+  // Asking for the slow path explicitly is a choice, not a fallback.
+  const int64_t after = BankFallbackCount();
+  ASSERT_TRUE(SelectHillClimbing(fx.g, 0, 3, fx.candidates, slow).ok());
+  EXPECT_EQ(BankFallbackCount(), after);
+}
+
+TEST(GreedyTest, SharedWorldSelectionIsLaneAndThreadInvariant) {
+  GreedyFixture fx;
+  std::vector<Edge> reference;
+  for (const bitlane::LaneMode mode :
+       {bitlane::LaneMode::kBlocked, bitlane::LaneMode::kScalar}) {
+    const bitlane::ScopedLaneMode scoped(mode);
+    for (const int threads : {1, 4}) {
+      SolverOptions options = FastOptions(2);
+      options.num_threads = threads;
+      auto chosen = SelectHillClimbing(fx.g, 0, 3, fx.candidates, options);
+      ASSERT_TRUE(chosen.ok());
+      if (reference.empty()) {
+        reference = *chosen;
+        continue;
+      }
+      ASSERT_EQ(chosen->size(), reference.size())
+          << bitlane::ModeName(mode) << ", threads = " << threads;
+      for (size_t i = 0; i < reference.size(); ++i) {
+        EXPECT_EQ((*chosen)[i].src, reference[i].src);
+        EXPECT_EQ((*chosen)[i].dst, reference[i].dst);
+      }
+    }
+  }
 }
 
 TEST(GreedyTest, ValidatesArguments) {

@@ -5,11 +5,13 @@
 // answers.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
 #include "graph/uncertain_graph.h"
 #include "index/reliability_index.h"
+#include "sampling/bitlane.h"
 #include "sampling/world_bank.h"
 
 namespace relmax {
@@ -32,9 +34,10 @@ UncertainGraph RandomGraph(uint64_t seed, NodeId n, double density,
 }
 
 std::vector<uint64_t> FloodRow(const WorldBank& bank, NodeId s, NodeId t) {
-  std::vector<std::vector<uint64_t>> reach;
+  bitlane::BitMatrix reach;
   bank.ReachabilityFixpoint(s, /*backward=*/false, bank.AllEdges(), &reach);
-  return reach[t];
+  const std::span<const uint64_t> row = reach.row_span(t);
+  return std::vector<uint64_t>(row.begin(), row.end());
 }
 
 TEST(ReliabilityIndexTest, ConnectedWorldsMatchFloodBitwise) {

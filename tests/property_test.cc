@@ -15,6 +15,7 @@
 #include "paths/yen.h"
 #include "query/query_engine.h"
 #include "query/query_set.h"
+#include "sampling/bitlane.h"
 #include "sampling/lazy_propagation.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
@@ -210,11 +211,21 @@ TEST_P(ExactOracleConformanceSweep, EstimatorsMatchBruteForceEnumeration) {
   const int kSamples = 20000;
   const double band = oracle::ThreeSigma(exact, kSamples);
 
-  for (int threads : {1, 3}) {
-    const double mc = EstimateReliability(
-        g, s, t,
-        {.num_samples = kSamples, .seed = 91, .num_threads = threads});
-    EXPECT_NEAR(mc, exact, band) << "MC, threads = " << threads;
+  // MC: within the band, and bit-identical across thread counts and lane
+  // kernels (the estimate is a pure function of (Z, seed)).
+  const double mc_ref = EstimateReliability(
+      g, s, t, {.num_samples = kSamples, .seed = 91, .num_threads = 1});
+  EXPECT_NEAR(mc_ref, exact, band) << "MC";
+  for (const bitlane::LaneMode mode :
+       {bitlane::LaneMode::kBlocked, bitlane::LaneMode::kScalar}) {
+    const bitlane::ScopedLaneMode scoped(mode);
+    for (int threads : {1, 3}) {
+      const double mc = EstimateReliability(
+          g, s, t,
+          {.num_samples = kSamples, .seed = 91, .num_threads = threads});
+      EXPECT_EQ(mc, mc_ref)
+          << "MC, " << bitlane::ModeName(mode) << ", threads = " << threads;
+    }
   }
   const double rss = EstimateReliabilityRss(
       g, s, t, {.num_samples = kSamples, .seed = 92});
@@ -223,9 +234,23 @@ TEST_P(ExactOracleConformanceSweep, EstimatorsMatchBruteForceEnumeration) {
   const double lazy = EstimateReliabilityLazy(g, s, t, kSamples, 93);
   EXPECT_NEAR(lazy, exact, band) << "lazy propagation";
 
+  // The WorldBank fixpoint answer must be within the band AND bit-identical
+  // across lane kernels: scalar and blocked walk the same monotone algebra,
+  // whose fixpoint is unique.
   const WorldBank bank(g, {.num_samples = kSamples, .seed = 94});
-  const double fixpoint = bank.ConnectedFraction(s, t, bank.AllEdges(), {});
-  EXPECT_NEAR(fixpoint, exact, band) << "WorldBank fixpoint";
+  double fixpoint_ref = -1.0;
+  for (const bitlane::LaneMode mode :
+       {bitlane::LaneMode::kBlocked, bitlane::LaneMode::kScalar}) {
+    const bitlane::ScopedLaneMode scoped(mode);
+    const double fixpoint = bank.ConnectedFraction(s, t, bank.AllEdges(), {});
+    if (fixpoint_ref < 0.0) {
+      fixpoint_ref = fixpoint;
+      EXPECT_NEAR(fixpoint, exact, band) << "WorldBank fixpoint";
+    } else {
+      EXPECT_EQ(fixpoint, fixpoint_ref)
+          << "WorldBank fixpoint differs under " << bitlane::ModeName(mode);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ExactOracleConformanceSweep,
@@ -275,19 +300,26 @@ TEST_P(BatchQueryConformanceSweep, BatchedAnswersMatchPerQueryAndOracle) {
         << "(" << pairs[i].s << ", " << pairs[i].t << ")";
   }
 
-  // (2) Shared-world path: one bank for the whole batch, thread-invariant,
-  // composition-invariant, and within 3σ of the exact enumeration.
+  // (2) Shared-world path: one bank for the whole batch; the answers must
+  // be bit-identical across thread counts AND lane kernels (the
+  // (threads, lane-width)-invariance contract), and within 3σ of the exact
+  // enumeration.
   std::vector<double> reference;
-  for (const int threads : {1, 3}) {
-    QueryEngineOptions shared = options;
-    shared.num_threads = threads;
-    QueryEngine engine(g, shared);
-    const auto result = engine.Answer(set);
-    ASSERT_TRUE(result.ok());
-    if (reference.empty()) {
-      reference = result->st_values;
-    } else {
-      EXPECT_EQ(result->st_values, reference) << "threads = " << threads;
+  for (const bitlane::LaneMode mode :
+       {bitlane::LaneMode::kBlocked, bitlane::LaneMode::kScalar}) {
+    const bitlane::ScopedLaneMode scoped(mode);
+    for (const int threads : {1, 3}) {
+      QueryEngineOptions shared = options;
+      shared.num_threads = threads;
+      QueryEngine engine(g, shared);
+      const auto result = engine.Answer(set);
+      ASSERT_TRUE(result.ok());
+      if (reference.empty()) {
+        reference = result->st_values;
+      } else {
+        EXPECT_EQ(result->st_values, reference)
+            << bitlane::ModeName(mode) << ", threads = " << threads;
+      }
     }
   }
   for (size_t i = 0; i < pairs.size(); ++i) {
@@ -302,17 +334,22 @@ TEST_P(BatchQueryConformanceSweep, BatchedAnswersMatchPerQueryAndOracle) {
 
   // (3) Index path: per-world component/SCC labels over the same bank must
   // reproduce the shared-flood answers bit-for-bit (hence also within 3σ of
-  // the oracle), for any thread count.
-  for (const int threads : {1, 3}) {
-    QueryEngineOptions indexed = options;
-    indexed.use_index = true;
-    indexed.num_threads = threads;
-    QueryEngine engine(g, indexed);
-    const auto result = engine.Answer(set);
-    ASSERT_TRUE(result.ok());
-    EXPECT_EQ(result->st_values, reference) << "index, threads = " << threads;
-    EXPECT_EQ(result->stats.floods, 0u);
-    EXPECT_EQ(result->stats.index_answers, result->stats.distinct_pairs);
+  // the oracle), for any thread count and either lane kernel.
+  for (const bitlane::LaneMode mode :
+       {bitlane::LaneMode::kBlocked, bitlane::LaneMode::kScalar}) {
+    const bitlane::ScopedLaneMode scoped(mode);
+    for (const int threads : {1, 3}) {
+      QueryEngineOptions indexed = options;
+      indexed.use_index = true;
+      indexed.num_threads = threads;
+      QueryEngine engine(g, indexed);
+      const auto result = engine.Answer(set);
+      ASSERT_TRUE(result.ok());
+      EXPECT_EQ(result->st_values, reference)
+          << "index, " << bitlane::ModeName(mode) << ", threads = " << threads;
+      EXPECT_EQ(result->stats.floods, 0u);
+      EXPECT_EQ(result->stats.index_answers, result->stats.distinct_pairs);
+    }
   }
 }
 

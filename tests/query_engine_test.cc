@@ -14,6 +14,7 @@
 #include "query/query_set.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
+#include "sampling/world_bank.h"
 
 namespace relmax {
 namespace {
@@ -380,6 +381,42 @@ TEST(QueryEngineTest, FallbackPathCountsEstimatesNotFloods) {
   EXPECT_EQ(result->stats.fallback_estimates, 2u);
   EXPECT_EQ(result->stats.floods, 0u);  // no shared-world flood ran
   EXPECT_EQ(result->stats.index_answers, 0u);
+}
+
+TEST(QueryEngineTest, TinyBankCapFallsBackAndCountsIt) {
+  const UncertainGraph g = RandomGraph(63, 10, 0.3, false);
+  QuerySet set;
+  for (NodeId t = 1; t < 6; ++t) set.AddSt(0, t);
+
+  QueryEngine shared(g, EngineOptions(256));
+  const auto want_shared = shared.Answer(set);
+  ASSERT_TRUE(want_shared.ok());
+  EXPECT_EQ(want_shared->stats.bank_fallbacks, 0u);
+  EXPECT_GT(want_shared->stats.floods, 0u);
+
+  // A cap smaller than one edge row cannot host the bank: the batch must
+  // fall off to per-query estimation, say so in the stats (and bump the
+  // process-wide counter the stderr warning reports), and still produce
+  // exactly the reuse_worlds=false answers.
+  QueryEngineOptions capped = EngineOptions(256);
+  capped.max_bank_bytes = 1;
+  const int64_t before = BankFallbackCount();
+  QueryEngine engine(g, capped);
+  const auto result = engine.Answer(set);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->stats.bank_fallbacks, 1u);
+  EXPECT_EQ(result->stats.floods, 0u);
+  EXPECT_EQ(result->stats.fallback_estimates, result->stats.distinct_pairs);
+  EXPECT_GT(BankFallbackCount(), before);
+
+  QueryEngineOptions per_query = EngineOptions(256);
+  per_query.reuse_worlds = false;
+  QueryEngine fallback(g, per_query);
+  const auto expected = fallback.Answer(set);
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(result->st_values, expected->st_values);
+  // Asking for the slow path is not a fallback — the counter stays clean.
+  EXPECT_EQ(expected->stats.bank_fallbacks, 0u);
 }
 
 TEST(QueryEngineTest, IndexAnswersMatchFloodPathBitwise) {

@@ -1,13 +1,17 @@
 // WorldBank: the shared possible-world bit-matrix behind reuse_worlds. The
 // bank must be bit-identical for any fill thread count, its estimates must
-// track the exact factoring oracle, and the word-parallel reachability
-// fixpoint must agree with per-world brute force.
+// track the exact factoring oracle, the word-parallel reachability fixpoint
+// must agree with per-world brute force, and the answers must be
+// bit-identical across lane kernels (scalar vs blocked/SIMD) — the
+// (threads, lane-width)-invariance determinism contract.
 #include <gtest/gtest.h>
 
+#include <span>
 #include <vector>
 
 #include "graph/exact_reliability.h"
 #include "graph/uncertain_graph.h"
+#include "sampling/bitlane.h"
 #include "sampling/world_bank.h"
 
 namespace relmax {
@@ -37,6 +41,14 @@ UncertainGraph BridgeGraph() {
   return g;
 }
 
+std::vector<uint64_t> ToVec(std::span<const uint64_t> bits) {
+  return std::vector<uint64_t>(bits.begin(), bits.end());
+}
+
+std::vector<uint64_t> Row(const bitlane::BitMatrix& m, NodeId v) {
+  return ToVec(m.row_span(v));
+}
+
 TEST(WorldBankTest, BitMatrixIdenticalAcrossThreadCounts) {
   const UncertainGraph g = BridgeGraph();
   WorldBank reference(g, {.num_samples = 1000, .seed = 7, .num_threads = 1});
@@ -44,10 +56,73 @@ TEST(WorldBankTest, BitMatrixIdenticalAcrossThreadCounts) {
     WorldBank bank(g, {.num_samples = 1000, .seed = 7,
                        .num_threads = threads});
     for (size_t e = 0; e < g.num_edges(); ++e) {
-      ASSERT_EQ(bank.EdgeUpWorlds(static_cast<EdgeId>(e)),
-                reference.EdgeUpWorlds(static_cast<EdgeId>(e)))
+      ASSERT_EQ(ToVec(bank.EdgeUpWorlds(static_cast<EdgeId>(e))),
+                ToVec(reference.EdgeUpWorlds(static_cast<EdgeId>(e))))
           << "edge " << e << " threads " << threads;
     }
+  }
+}
+
+// The determinism contract of this PR's kernel rewrite: flood answers are
+// bit-identical across fill thread counts AND across lane kernels, for
+// directed and undirected graphs, at a Z that is not a multiple of 64 (so
+// the tail word and the lane-block padding are both exercised).
+TEST(WorldBankTest, FloodBitsInvariantAcrossLaneModeAndThreads) {
+  const UncertainGraph graphs[] = {DiamondGraph(), BridgeGraph()};
+  for (const UncertainGraph& g : graphs) {
+    // 500 % 64 != 0: the last logical word is a tail, and 500 bits also
+    // leave whole pad words inside the 512-bit lane block.
+    bitlane::BitMatrix expected;
+    {
+      bitlane::ScopedLaneMode set(bitlane::LaneMode::kBlocked);
+      WorldBank bank(g, {.num_samples = 500, .seed = 29, .num_threads = 1});
+      bank.ReachabilityFixpoint(0, /*backward=*/false, bank.AllEdges(),
+                                &expected);
+    }
+    for (int threads : {1, 4}) {
+      for (bitlane::LaneMode mode :
+           {bitlane::LaneMode::kScalar, bitlane::LaneMode::kBlocked}) {
+        bitlane::ScopedLaneMode set(mode);
+        WorldBank bank(g,
+                       {.num_samples = 500, .seed = 29,
+                        .num_threads = threads});
+        bitlane::BitMatrix reach;
+        bank.ReachabilityFixpoint(0, /*backward=*/false, bank.AllEdges(),
+                                  &reach);
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          ASSERT_EQ(Row(reach, v), Row(expected, v))
+              << "node " << v << " threads " << threads << " mode "
+              << bitlane::ModeName(mode)
+              << (g.directed() ? " directed" : " undirected");
+        }
+        // Tail bits beyond num_worlds stay clear in every row.
+        for (NodeId v = 0; v < g.num_nodes(); ++v) {
+          EXPECT_EQ(WorldBank::CountBits(reach.row_span(v),
+                                         static_cast<size_t>(
+                                             bank.num_worlds())),
+                    WorldBank::CountBits(reach.row_span(v),
+                                         64 * bank.world_words()))
+              << "node " << v;
+        }
+      }
+    }
+  }
+}
+
+// Frontier regression: a converged scratch re-run under kSeedsAreFacts must
+// touch its seeded blocks once and propagate nothing.
+TEST(WorldBankTest, ConvergedStateNeedsZeroExtraPropagation) {
+  for (const UncertainGraph& g : {DiamondGraph(), BridgeGraph()}) {
+    WorldBank bank(g, {.num_samples = 500, .seed = 31, .num_threads = 1});
+    const std::vector<EdgeId> active = bank.AllEdges();
+    bitlane::BitMatrix reach;
+    const int64_t first =
+        bank.ReachabilityFixpoint(0, /*backward=*/false, active, &reach);
+    EXPECT_GT(first, 0);
+    const int64_t again =
+        bank.ReachabilityFixpoint(0, /*backward=*/false, active, &reach,
+                                  WorldBank::SeedPolicy::kSeedsAreFacts);
+    EXPECT_EQ(again, 0) << (g.directed() ? "directed" : "undirected");
   }
 }
 
@@ -127,10 +202,10 @@ TEST(WorldBankTest, ReachabilityFixpointMatchesPerWorldBfs) {
       partial.push_back(static_cast<EdgeId>(e));
     }
     for (const std::vector<EdgeId>& active : {bank.AllEdges(), partial}) {
-      std::vector<std::vector<uint64_t>> reach;
+      bitlane::BitMatrix reach;
       bank.ReachabilityFixpoint(0, /*backward=*/false, active, &reach);
       for (int w = 0; w < bank.num_worlds(); ++w) {
-        EXPECT_EQ((reach[t][w / 64] >> (w % 64)) & 1u,
+        EXPECT_EQ((reach.row(t)[w / 64] >> (w % 64)) & 1u,
                   BruteForceConnects(bank, g, w, 0, t, active) ? 1u : 0u)
             << "world " << w << " |active| = " << active.size();
       }
@@ -144,12 +219,12 @@ TEST(WorldBankTest, BackwardFixpointMatchesForwardOnTranspose) {
   // diamond, backward reach from t marks exactly the nodes that can reach t.
   const UncertainGraph g = DiamondGraph();
   WorldBank bank(g, {.num_samples = 300, .seed = 19, .num_threads = 1});
-  std::vector<std::vector<uint64_t>> to_t;
+  bitlane::BitMatrix to_t;
   bank.ReachabilityFixpoint(3, /*backward=*/true, bank.AllEdges(), &to_t);
-  std::vector<std::vector<uint64_t>> from_s;
+  bitlane::BitMatrix from_s;
   bank.ReachabilityFixpoint(0, /*backward=*/false, bank.AllEdges(), &from_s);
   // s-t connectivity is symmetric between the two sweeps.
-  EXPECT_EQ(to_t[0], from_s[3]);
+  EXPECT_EQ(Row(to_t, 0), Row(from_s, 3));
 }
 
 TEST(WorldBankTest, SeededReachIsKeptAndSound) {
@@ -160,19 +235,19 @@ TEST(WorldBankTest, SeededReachIsKeptAndSound) {
   WorldBank bank(g, {.num_samples = 4096, .seed = 21, .num_threads = 1});
   const std::vector<EdgeId> active = bank.AllEdges();
 
-  std::vector<std::vector<uint64_t>> plain;
+  bitlane::BitMatrix plain;
   bank.ReachabilityFixpoint(0, /*backward=*/false, active, &plain);
 
   // Edges 0+2 form the path 0-1-3; edge 4 is the direct 0->3 edge.
-  std::vector<std::vector<uint64_t>> seeded(
-      g.num_nodes(), std::vector<uint64_t>(bank.world_words(), 0));
-  seeded[3] = bank.WorldsWithAllEdges({0, 2});
+  bitlane::BitMatrix seeded(g.num_nodes(), bank.world_words());
+  const std::vector<uint64_t> path = bank.WorldsWithAllEdges({0, 2});
   const std::vector<uint64_t> direct = bank.WorldsWithAllEdges({4});
-  for (size_t i = 0; i < seeded[3].size(); ++i) seeded[3][i] |= direct[i];
+  uint64_t* const at_t = seeded.row(3);
+  for (size_t i = 0; i < path.size(); ++i) at_t[i] = path[i] | direct[i];
   bank.ReachabilityFixpoint(0, /*backward=*/false, active, &seeded,
                             WorldBank::SeedPolicy::kSeedsAreFacts);
 
-  EXPECT_EQ(seeded[3], plain[3]);
+  EXPECT_EQ(Row(seeded, 3), Row(plain, 3));
 }
 
 TEST(WorldBankTest, ReusedScratchIsWipedByDefault) {
@@ -184,27 +259,27 @@ TEST(WorldBankTest, ReusedScratchIsWipedByDefault) {
   WorldBank bank(g, {.num_samples = 512, .seed = 23, .num_threads = 1});
   const std::vector<EdgeId> active = bank.AllEdges();
 
-  std::vector<std::vector<uint64_t>> fresh;
+  bitlane::BitMatrix fresh;
   bank.ReachabilityFixpoint(2, /*backward=*/false, active, &fresh);
 
-  std::vector<std::vector<uint64_t>> reused;
+  bitlane::BitMatrix reused;
   // First flood from the well-connected source 0 sets bits everywhere…
   bank.ReachabilityFixpoint(0, /*backward=*/false, active, &reused);
   // …which must not leak into a subsequent flood from source 2.
   bank.ReachabilityFixpoint(2, /*backward=*/false, active, &reused);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
-    EXPECT_EQ(reused[v], fresh[v]) << "node " << v;
+    EXPECT_EQ(Row(reused, v), Row(fresh, v)) << "node " << v;
   }
 
   // Opting in keeps the seeds, growing reachability monotonically (the
   // greedy BeginRound contract).
-  std::vector<std::vector<uint64_t>> seeded;
+  bitlane::BitMatrix seeded;
   bank.ReachabilityFixpoint(0, /*backward=*/false, active, &seeded);
-  const std::vector<uint64_t> from_zero = seeded[3];
+  const std::vector<uint64_t> from_zero = Row(seeded, 3);
   bank.ReachabilityFixpoint(2, /*backward=*/false, active, &seeded,
                             WorldBank::SeedPolicy::kSeedsAreFacts);
   for (size_t w = 0; w < bank.world_words(); ++w) {
-    EXPECT_EQ(seeded[3][w] & from_zero[w], from_zero[w]) << "word " << w;
+    EXPECT_EQ(seeded.row(3)[w] & from_zero[w], from_zero[w]) << "word " << w;
   }
 }
 

@@ -38,7 +38,27 @@ LABEL_REQUIRED_KEYS = {
     "index_queries": ("naive_per_query_seconds", "flood_seconds",
                       "index_seconds", "index_build_seconds",
                       "speedup_index_vs_flood", "bit_identical"),
+    "pr7_pre_simd_baseline": ("cpu_time_ms", "worlds_per_second"),
+    "pr7_simd_frontier_kernels": ("cpu_time_ms", "worlds_per_second"),
 }
+
+# Every google-benchmark name the micro-kernel suite may emit (the part
+# before the first '/'). A rename or typo in bench_micro_kernels.cc would
+# otherwise sail through CI and silently orphan the checked-in trajectory
+# rows that track it.
+KNOWN_MICRO_BENCHMARKS = frozenset({
+    "BM_MonteCarloReliability",
+    "BM_MonteCarloReliabilityParallel",
+    "BM_RssReliability",
+    "BM_RssReliabilityParallel",
+    "BM_ReliabilityFromSourceToAll",
+    "BM_MostReliablePath",
+    "BM_YenTopL",
+    "BM_SearchSpaceElimination",
+    "BM_ReachabilityFixpoint",
+    "BM_WorldBankFill",
+    "BM_WorldEnsembleBuild",
+})
 
 
 class SchemaError(Exception):
@@ -72,6 +92,14 @@ def check_benchmarks(benchmarks, where, label=None):
         require(isinstance(bench, dict), f"{where}: benchmarks[{i}] not an object")
         require(isinstance(bench.get("name"), str) and bench["name"],
                 f"{where}: benchmarks[{i}] needs a non-empty string name")
+        if bench["name"].startswith("BM_"):
+            base = bench["name"].split("/", 1)[0]
+            require(
+                base in KNOWN_MICRO_BENCHMARKS,
+                f"{where}: benchmarks[{i}] name '{base}' is not a known "
+                f"micro-kernel benchmark (update KNOWN_MICRO_BENCHMARKS "
+                f"when adding one)",
+            )
         for key, value in bench.items():
             require(
                 isinstance(value, (str, int, float, bool)),

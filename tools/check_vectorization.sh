@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Codegen gate for the blocked lane kernel: PropagateBlock (the inner loop of
+# the WorldBank reachability fixpoint, sampling/bitlane.h) must actually
+# compile to vector code. The kernel is written branch-free with __restrict
+# precisely so the autovectorizer takes it; an innocent-looking edit (a
+# conditional store, an aliasing pointer, a changed loop bound) can silently
+# drop it back to scalar and cost the fixpoint most of its throughput.
+# This compiles an out-of-line instantiation with -fopt-info-vec and fails
+# unless GCC reports the bitlane.h loop as vectorized.
+#
+# Usage: tools/check_vectorization.sh
+#   CXX    compiler to probe (default: g++)
+#   MARCH  target flag (default: -march=x86-64-v3, i.e. AVX2 baseline)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-g++}"
+MARCH="${MARCH:--march=x86-64-v3}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+cat > "$tmp/probe.cc" <<'EOF'
+#include "sampling/bitlane.h"
+// Out-of-line instantiation so the vectorizer report points at the
+// PropagateBlock loop inside bitlane.h rather than an inlined caller.
+uint64_t Probe(const uint64_t* __restrict src, const uint64_t* __restrict up,
+               uint64_t* __restrict dst) {
+  return relmax::bitlane::PropagateBlock(src, up, dst);
+}
+EOF
+
+report="$("$CXX" -std=c++20 -O3 "$MARCH" -DNDEBUG -Isrc -fopt-info-vec \
+    -c "$tmp/probe.cc" -o "$tmp/probe.o" 2>&1)" || {
+  echo "$report"
+  echo "FAIL: probe did not compile" >&2
+  exit 1
+}
+echo "$report"
+
+if ! grep -q 'bitlane\.h:[0-9]*:[0-9]*: optimized: loop vectorized' \
+    <<<"$report"; then
+  echo "FAIL: PropagateBlock inner loop is no longer vectorized" \
+       "($CXX $MARCH). Check sampling/bitlane.h for branches or aliasing" \
+       "introduced into the blocked kernel." >&2
+  exit 1
+fi
+echo "OK: PropagateBlock vectorized ($CXX $MARCH)"
