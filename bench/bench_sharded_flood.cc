@@ -1,0 +1,205 @@
+// Partition-sharded WorldBank vs the flat bit-matrix, at the scale the
+// sharding exists for: a synthetic graph whose flat bank footprint is ~10x
+// the default 256 MB per-shard cap. Each configuration (flat, 2/4/8 shards)
+// samples the bank once and runs the same flood schedule; reported are the
+// fill time, flood throughput in worlds/sec, and the process RSS — the flat
+// bank pays one contiguous multi-GB matrix, the sharded bank the same bytes
+// split into per-shard matrices plus partition/CSR bookkeeping.
+//
+// The harness re-verifies the canonical-layout contract on every config: a
+// checksum over the full reach matrices of every flood must be identical
+// across shard counts (the world draws are one stream; the fixpoint of the
+// monotone word algebra is unique). Any mismatch exits 1.
+//
+// A non-empty --json PATH writes the result entry in the canonical
+// BENCH_*.json shape ({label, command, environment, benchmarks}) for
+// tools/check_bench_json.py. The CI smoke variant shrinks every knob:
+//   bench_sharded_flood --nodes 2000 --edges 6000 --samples 256 --floods 2
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/memory.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "graph/uncertain_graph.h"
+#include "sampling/bitlane.h"
+#include "sampling/world_view.h"
+
+namespace relmax {
+namespace bench {
+namespace {
+
+// Ring + random chords, undirected: connected (every flood reaches the
+// whole graph, so the checksum covers every row), degree-bounded, and a
+// pure function of (nodes, edges, seed).
+UncertainGraph SyntheticGraph(NodeId nodes, size_t edges, uint64_t seed) {
+  UncertainGraph g = UncertainGraph::Undirected(nodes);
+  Rng rng(seed);
+  for (NodeId v = 0; v < nodes; ++v) {
+    (void)g.AddEdge(v, (v + 1) % nodes, rng.NextDouble(0.05, 0.95));
+  }
+  while (g.num_edges() < edges) {
+    const NodeId u = static_cast<NodeId>(rng.NextUint64(nodes));
+    const NodeId v = static_cast<NodeId>(rng.NextUint64(nodes));
+    if (u == v) continue;
+    // Duplicate edges fail; the draw stream advances either way, so the
+    // graph is still deterministic.
+    (void)g.AddEdge(u, v, rng.NextDouble(0.05, 0.95));
+  }
+  return g;
+}
+
+struct ConfigResult {
+  int shards = 1;
+  double fill_seconds = 0.0;
+  double flood_seconds = 0.0;
+  double worlds_per_second = 0.0;
+  size_t bank_bytes = 0;      // logical bit-matrix bytes, summed over shards
+  size_t rss_bytes = 0;       // CurrentRssBytes after fill + floods
+  size_t peak_rss_bytes = 0;  // process-wide peak (monotonic across configs)
+  uint64_t checksum = 0;      // over every flood's full reach matrix
+  bool bit_identical = false; // checksum equals the flat config's
+};
+
+ConfigResult RunConfig(const UncertainGraph& g, int shards, int num_samples,
+                       int num_floods, uint64_t seed) {
+  ConfigResult r;
+  r.shards = shards;
+
+  WallTimer timer;
+  const std::unique_ptr<WorldView> view =
+      MakeWorldView(g, {.num_samples = num_samples,
+                        .seed = seed,
+                        .num_threads = 1,
+                        .num_partitions = shards});
+  r.fill_seconds = timer.ElapsedSeconds();
+  for (const size_t bytes : view->ShardBankBytes()) r.bank_bytes += bytes;
+
+  const std::vector<EdgeId> all = view->AllEdges();
+  bitlane::BitMatrix reach;
+  timer.Restart();
+  for (int i = 0; i < num_floods; ++i) {
+    // Deterministic well-spread sources, identical for every config.
+    const NodeId source = static_cast<NodeId>(
+        (static_cast<uint64_t>(i) * 2654435761ULL) % g.num_nodes());
+    view->ReachabilityFixpoint(source, /*backward=*/false, all, &reach);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      for (const uint64_t word : reach.row_span(v)) {
+        r.checksum = (r.checksum * 1099511628211ULL) ^ word;
+      }
+    }
+  }
+  r.flood_seconds = timer.ElapsedSeconds();
+  r.worlds_per_second = static_cast<double>(num_samples) * num_floods /
+                        (r.flood_seconds > 0.0 ? r.flood_seconds : 1e-12);
+  r.rss_bytes = CurrentRssBytes();
+  r.peak_rss_bytes = PeakRssBytes();
+  return r;
+}
+
+void Run(const Flags& flags) {
+  const NodeId nodes = static_cast<NodeId>(flags.GetInt("nodes", 2000000));
+  const size_t edges =
+      static_cast<size_t>(flags.GetInt("edges", 10000000));
+  const int num_samples = static_cast<int>(flags.GetInt("samples", 2048));
+  const int num_floods = static_cast<int>(flags.GetInt("floods", 4));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 7));
+  const std::string json_path = flags.GetString("json", "");
+
+  std::printf("=== Sharded WorldBank: flat vs 2/4/8 partition shards ===\n");
+  WallTimer timer;
+  const UncertainGraph g = SyntheticGraph(nodes, edges, seed);
+  const size_t flat_bytes = BankBytes(g.num_edges(), num_samples);
+  std::printf(
+      "synthetic ring+chords: %u nodes, %zu edges, built in %.1f s;\n"
+      "Z = %d -> flat bank %.1f MiB (default per-shard cap is 256 MiB)\n\n",
+      g.num_nodes(), g.num_edges(), timer.ElapsedSeconds(), num_samples,
+      static_cast<double>(flat_bytes) / (1024.0 * 1024.0));
+
+  TablePrinter table({"Shards", "Fill s", "Flood s", "Worlds/s", "Bank MiB",
+                      "RSS MiB", "Identical"});
+  std::vector<ConfigResult> results;
+  bool all_identical = true;
+  for (const int shards : {1, 2, 4, 8}) {
+    ConfigResult r = RunConfig(g, shards, num_samples, num_floods, seed);
+    r.bit_identical = results.empty() || r.checksum == results[0].checksum;
+    all_identical = all_identical && r.bit_identical;
+    results.push_back(r);
+    table.AddRow({shards == 1 ? "flat" : Fmt(shards), Fmt(r.fill_seconds, 2),
+                  Fmt(r.flood_seconds, 2), Fmt(r.worlds_per_second, 1),
+                  Fmt(static_cast<double>(r.bank_bytes) / (1024.0 * 1024.0), 1),
+                  Fmt(static_cast<double>(r.rss_bytes) / (1024.0 * 1024.0), 1),
+                  r.bit_identical ? "yes" : "NO"});
+    std::fflush(stdout);
+  }
+  table.Print();
+  std::printf(
+      "\nevery config floods the same sources over the same sampled worlds;\n"
+      "the sharded bank trades one contiguous multi-GB matrix for per-shard\n"
+      "matrices a per-shard byte budget can admit, at the cost of the\n"
+      "boundary-exchange rounds visible in Flood s.\n");
+
+  const auto enforce_identical = [&all_identical] {
+    if (all_identical) return;
+    std::fprintf(stderr,
+                 "FAIL: sharded flood checksums were not bit-identical to "
+                 "the flat bank's\n");
+    std::exit(1);
+  };
+  if (json_path.empty()) {
+    enforce_identical();
+    return;
+  }
+  std::string json = "{\n  \"label\": \"sharded_flood\",\n";
+  json += "  \"command\": \"bench_sharded_flood --nodes " +
+          std::to_string(nodes) + " --edges " + std::to_string(edges) +
+          " --samples " + std::to_string(num_samples) + " --floods " +
+          std::to_string(num_floods) + " --seed " + std::to_string(seed) +
+          "\",\n";
+  json += "  \"environment\": " +
+          EnvironmentJson("WallTimer harness",
+                          "flat = WorldBank; shards = ShardedWorldBank with "
+                          "boundary-exchange floods; checksums over full "
+                          "reach matrices enforce canonical-layout "
+                          "bit-identity; peak_rss_bytes is the process-wide "
+                          "peak and monotonic across configs") +
+          ",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < results.size(); ++i) {
+    const ConfigResult& r = results[i];
+    json += "    {\"name\": \"ShardedFlood/" +
+            (r.shards == 1 ? std::string("flat")
+                           : std::to_string(r.shards)) +
+            "\", \"shards\": " + std::to_string(r.shards) +
+            ", \"fill_seconds\": " + Fmt(r.fill_seconds, 6) +
+            ", \"flood_seconds\": " + Fmt(r.flood_seconds, 6) +
+            ", \"worlds_per_second\": " + Fmt(r.worlds_per_second, 2) +
+            ", \"bank_bytes\": " + std::to_string(r.bank_bytes) +
+            ", \"rss_bytes\": " + std::to_string(r.rss_bytes) +
+            ", \"peak_rss_bytes\": " + std::to_string(r.peak_rss_bytes) +
+            ", \"bit_identical\": " + (r.bit_identical ? "true" : "false") +
+            "}" + (i + 1 < results.size() ? "," : "") + "\n";
+  }
+  json += "  ]\n}\n";
+  FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    std::exit(1);
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", json_path.c_str());
+  enforce_identical();
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace relmax
+
+int main(int argc, char** argv) {
+  relmax::bench::Run(relmax::Flags::Parse(argc, argv));
+  return 0;
+}

@@ -7,11 +7,11 @@
 #include <vector>
 
 #include "graph/uncertain_graph.h"
-#include "sampling/world_bank.h"
+#include "sampling/world_view.h"
 
 namespace relmax {
 
-/// Offline per-world connectivity index over a WorldBank: answers
+/// Offline per-world connectivity index over a WorldView: answers
 /// R(s, t) = |{worlds where t is reachable from s}| / Z with **no flood at
 /// query time**.
 ///
@@ -58,6 +58,16 @@ namespace relmax {
 /// whole index is a pure function of the bank bits — bit-identical for any
 /// num_threads. Queries never depend on cache state: eviction changes which
 /// floods re-run, never their results.
+///
+/// **Partition-sharded banks:** indexing works over any WorldView. For an
+/// undirected sharded bank the per-world union-find runs shard-locally first
+/// (each partition shard unions only its own intra-shard edges) and a
+/// boundary merge pass over the cut edges then joins components across
+/// shards; since union-find's final partition is order-independent and the
+/// remap is canonical, the labels are bit-identical to the flat bank's.
+/// Directed SCC labeling does not decompose along an edge cut (an SCC can
+/// thread through several shards), so it keeps the global per-world Tarjan
+/// over the universe CSR regardless of sharding.
 class ReliabilityIndex {
  public:
   struct Options {
@@ -93,7 +103,7 @@ class ReliabilityIndex {
   /// Labels every world in `bank`. The bank (and its universe graph) must
   /// outlive the index or be replaced via ApplyBankUpdate. Callers should
   /// check Fits() first; an over-cap build is a programmer error (CHECK).
-  explicit ReliabilityIndex(const WorldBank& bank, const Options& options);
+  explicit ReliabilityIndex(const WorldView& bank, const Options& options);
 
   /// Whether the label planes for (g, num_samples) fit under
   /// `options.max_label_bytes`.
@@ -118,14 +128,16 @@ class ReliabilityIndex {
   /// may have been appended) and replaces it as the index's bank; the
   /// directed reach cache is dropped. Pass DiffWorlds(old, fresh) to get the
   /// exact mask.
-  void ApplyBankUpdate(const WorldBank& fresh, const std::vector<uint64_t>& affected);
+  void ApplyBankUpdate(const WorldView& fresh, const std::vector<uint64_t>& affected);
 
   /// Worlds whose edge presence differs between the banks: XOR of the up
   /// rows of every common edge, plus the up row of every edge only in
   /// `fresh` (appended after the old bank was sampled). Banks must have the
-  /// same num_worlds.
-  static std::vector<uint64_t> DiffWorlds(const WorldBank& old_bank,
-                                          const WorldBank& fresh);
+  /// same num_worlds. The banks may use different partition counts — bank
+  /// bits are layout-independent (canonical draw stream), so the diff is
+  /// exact across flat and sharded views.
+  static std::vector<uint64_t> DiffWorlds(const WorldView& old_bank,
+                                          const WorldView& fresh);
 
   int num_worlds() const { return num_worlds_; }
   /// Bitplanes per node (ceil(log2 num_nodes); 0 for a 1-node graph).
@@ -148,7 +160,7 @@ class ReliabilityIndex {
   // where s and t carry equal labels.
   std::vector<uint64_t> EqualLabelWorlds(NodeId s, NodeId t) const;
 
-  const WorldBank* bank_;  // replaced by ApplyBankUpdate
+  const WorldView* bank_;  // replaced by ApplyBankUpdate
   Options options_;
   NodeId num_nodes_;
   int num_worlds_;

@@ -1,0 +1,178 @@
+#include "partition/partitioner.h"
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace relmax {
+namespace {
+
+constexpr uint32_t kNoShard = UINT32_MAX;
+
+std::atomic<bool> g_warned_empty_shard{false};
+
+/// Visits u's neighbors over both arc directions (out + in when directed;
+/// undirected CSRs already store both arc copies in the out view).
+template <typename Fn>
+void ForEachNeighbor(const UncertainGraph& g, NodeId u, Fn&& fn) {
+  const CsrView out = g.OutCsr();
+  for (size_t a = out.begin(u); a < out.end(u); ++a) fn(out.heads[a]);
+  if (g.directed()) {
+    const CsrView in = g.InCsr();
+    for (size_t a = in.begin(u); a < in.end(u); ++a) fn(in.heads[a]);
+  }
+}
+
+}  // namespace
+
+Partition PartitionGraph(const UncertainGraph& g,
+                         const PartitionOptions& options) {
+  const NodeId n = g.num_nodes();
+  const size_t m = g.num_edges();
+
+  int shards = std::min(options.num_shards, kMaxPartitionShards);
+  if (shards < 1) shards = 1;
+  if (n > 0 && static_cast<NodeId>(shards) > n) shards = static_cast<int>(n);
+
+  Partition part;
+  part.num_shards = shards;
+  part.node_shard.assign(n, 0);
+  part.edge_shard.assign(m, 0);
+  part.shard_edges.resize(shards);
+  part.boundary_nodes.resize(shards);
+  part.node_shard_mask.assign(n, 0);
+
+  if (shards > 1) {
+    // Phase 1: draw `shards` distinct seed nodes (rejection sampling off a
+    // counter-free stream keeps this a pure function of options.seed).
+    Rng rng(options.seed);
+    std::vector<uint8_t> chosen(n, 0);
+    std::vector<NodeId> seeds;
+    seeds.reserve(shards);
+    while (seeds.size() < static_cast<size_t>(shards)) {
+      const NodeId v = static_cast<NodeId>(rng.NextUint64(n));
+      if (!chosen[v]) {
+        chosen[v] = 1;
+        seeds.push_back(v);
+      }
+    }
+
+    // Phase 2: single-queue multi-source BFS. Nodes are claimed in pop
+    // order with neighbors visited in CSR arc order, so growth is
+    // deterministic; ties go to whichever seed reaches a node first. Claims
+    // stop at the balance cap — a full shard's frontier leaves nodes
+    // unclaimed for slower-growing shards (or the leftover pass) to take,
+    // so no single seed can sweep a whole sparse component.
+    const size_t max_size = std::max<size_t>(
+        1, (static_cast<size_t>(n) * 5 + 4 * shards - 1) / (4 * shards));
+    part.node_shard.assign(n, kNoShard);
+    std::vector<NodeId> queue;
+    queue.reserve(n);
+    std::vector<size_t> shard_size(shards, 0);
+    for (int k = 0; k < shards; ++k) {
+      part.node_shard[seeds[k]] = static_cast<uint32_t>(k);
+      ++shard_size[k];
+      queue.push_back(seeds[k]);
+    }
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const NodeId u = queue[head];
+      const uint32_t k = part.node_shard[u];
+      if (shard_size[k] >= max_size) continue;
+      ForEachNeighbor(g, u, [&](NodeId v) {
+        if (part.node_shard[v] == kNoShard && shard_size[k] < max_size) {
+          part.node_shard[v] = k;
+          ++shard_size[k];
+          queue.push_back(v);
+        }
+      });
+    }
+    // Disconnected leftovers go to the currently-smallest shard (ties to
+    // the lowest index), walked in node-id order for determinism.
+    for (NodeId v = 0; v < n; ++v) {
+      if (part.node_shard[v] != kNoShard) continue;
+      const auto smallest =
+          std::min_element(shard_size.begin(), shard_size.end());
+      const uint32_t k =
+          static_cast<uint32_t>(smallest - shard_size.begin());
+      part.node_shard[v] = k;
+      ++shard_size[k];
+    }
+
+    // Phase 3: label-propagation refinement. Move a node to its majority
+    // neighbor shard when that strictly beats staying, under the same
+    // balance guard (no shard above ~1.25·n/shards nodes, none emptied).
+    std::array<uint32_t, kMaxPartitionShards> votes{};
+    for (int round = 0; round < options.refine_rounds; ++round) {
+      bool moved = false;
+      for (NodeId v = 0; v < n; ++v) {
+        votes.fill(0);
+        bool any = false;
+        ForEachNeighbor(g, v, [&](NodeId u) {
+          if (u != v) {
+            ++votes[part.node_shard[u]];
+            any = true;
+          }
+        });
+        if (!any) continue;
+        const uint32_t cur = part.node_shard[v];
+        uint32_t best = cur;
+        for (int k = 0; k < shards; ++k) {
+          if (votes[k] > votes[best]) best = static_cast<uint32_t>(k);
+        }
+        if (best == cur || votes[best] <= votes[cur]) continue;
+        if (shard_size[best] + 1 > max_size || shard_size[cur] <= 1) continue;
+        part.node_shard[v] = best;
+        --shard_size[cur];
+        ++shard_size[best];
+        moved = true;
+      }
+      if (!moved) break;
+    }
+  }
+
+  // Edge ownership, boundary masks, and per-shard edge lists. Edge-id order
+  // makes every shard_edges list ascending by construction.
+  const std::vector<Edge>& edges = g.EdgesById();
+  for (EdgeId e = 0; e < m; ++e) {
+    const uint32_t ks = part.node_shard[edges[e].src];
+    const uint32_t kt = part.node_shard[edges[e].dst];
+    const uint32_t owner = std::min(ks, kt);
+    part.edge_shard[e] = owner;
+    part.shard_edges[owner].push_back(e);
+    if (ks != kt) ++part.cut_edges;
+    part.node_shard_mask[edges[e].src] |= uint64_t{1} << owner;
+    part.node_shard_mask[edges[e].dst] |= uint64_t{1} << owner;
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    uint64_t mask = part.node_shard_mask[v];
+    if (__builtin_popcountll(mask) < 2) continue;
+    while (mask != 0) {
+      const int k = __builtin_ctzll(mask);
+      mask &= mask - 1;
+      part.boundary_nodes[k].push_back(v);
+    }
+  }
+
+  int empty = 0;
+  for (int k = 0; k < shards; ++k) {
+    if (part.shard_edges[k].empty()) ++empty;
+  }
+  if (empty > 0) {
+    part.has_empty_shard = true;
+    if (!g_warned_empty_shard.exchange(true)) {
+      std::fprintf(stderr,
+                   "relmax: partitioner: %d of %d shards own no edges "
+                   "(graph too small for the requested --partitions); they "
+                   "contribute nothing but bookkeeping\n",
+                   empty, shards);
+    }
+  }
+  return part;
+}
+
+}  // namespace relmax

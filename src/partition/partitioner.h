@@ -1,0 +1,67 @@
+#ifndef RELMAX_PARTITION_PARTITIONER_H_
+#define RELMAX_PARTITION_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+
+namespace relmax {
+
+/// Hard ceiling on shards: per-node "which shards touch me" bookkeeping is a
+/// single uint64_t bitmask, so boundary exchange stays one word per node.
+inline constexpr int kMaxPartitionShards = 64;
+
+struct PartitionOptions {
+  /// Requested shard count; clamped to [1, min(num_nodes,
+  /// kMaxPartitionShards)] so every shard owns at least one node.
+  int num_shards = 1;
+  /// Seed for the BFS growth phase's seed-node selection. The whole
+  /// partition is a pure function of (graph shape, num_shards, seed).
+  uint64_t seed = 42;
+  /// Label-propagation refinement sweeps after BFS growth. Each sweep walks
+  /// nodes in id order and moves a node to its majority neighbor shard when
+  /// that strictly reduces the cut, under a balance guard.
+  int refine_rounds = 4;
+};
+
+/// A deterministic edge-cut partition: node→shard map plus the boundary
+/// structure shard-local algorithms need (which nodes straddle shards, which
+/// shards touch each node). Produced once per bank build; immutable after.
+struct Partition {
+  /// Actual shard count after clamping (see PartitionOptions::num_shards).
+  int num_shards = 1;
+  /// node -> owning shard, in [0, num_shards).
+  std::vector<uint32_t> node_shard;
+  /// edge -> owning shard: min(node_shard[src], node_shard[dst]). Cut edges
+  /// are owned by the lower-numbered endpoint shard — documented so the
+  /// sharded bank's storage layout is reproducible from the node map alone.
+  std::vector<uint32_t> edge_shard;
+  /// Per shard, its owned edges in ascending edge-id order.
+  std::vector<std::vector<EdgeId>> shard_edges;
+  /// Per shard, sorted nodes that touch edges of more than one shard — the
+  /// nodes whose reach lanes are swapped during boundary exchange.
+  std::vector<std::vector<NodeId>> boundary_nodes;
+  /// Bit k set iff the node is incident to an edge owned by shard k.
+  /// Isolated nodes carry an empty mask.
+  std::vector<uint64_t> node_shard_mask;
+  /// Edges whose endpoints live in different shards.
+  size_t cut_edges = 0;
+  /// True when some shard ended up owning zero edges (more shards than the
+  /// edge set can feed). PartitionGraph warns once per process on stderr.
+  bool has_empty_shard = false;
+};
+
+/// BFS/label-propagation edge-cut partitioner. Deterministic for a given
+/// (graph, options): seed nodes are drawn from Rng(options.seed), grown by a
+/// single-queue multi-source BFS (nodes claimed in pop order, neighbors in
+/// CSR arc order, both arc directions), leftover disconnected nodes are
+/// assigned to the smallest shard, and `refine_rounds` label-propagation
+/// sweeps shrink the cut without unbalancing (no shard may exceed
+/// ~1.25 · n / num_shards nodes or be emptied).
+Partition PartitionGraph(const UncertainGraph& g,
+                         const PartitionOptions& options);
+
+}  // namespace relmax
+
+#endif  // RELMAX_PARTITION_PARTITIONER_H_

@@ -4,20 +4,15 @@
 #include <unordered_set>
 
 #include "common/logging.h"
+#include "common/memory.h"
 #include "common/timer.h"
 #include "core/evaluate.h"
 #include "sampling/parallel.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
+#include "sampling/world_view.h"
 
 namespace relmax {
-namespace {
-
-size_t WorldWords(int num_samples) {
-  return (static_cast<size_t>(num_samples) + 63) / 64;
-}
-
-}  // namespace
 
 QueryEngine::QueryEngine(const UncertainGraph& g,
                          const QueryEngineOptions& options)
@@ -35,10 +30,11 @@ void QueryEngine::SyncWithGraph() {
     // Incremental maintenance: resample the bank — its bits are a pure
     // function of (probs, Z, seed), so this is exactly what a fresh engine
     // would hold — and relabel only the worlds whose edge presence changed.
-    auto fresh = std::make_unique<WorldBank>(
-        graph_, WorldBank::Options{.num_samples = options_.num_samples,
-                                   .seed = options_.seed,
-                                   .num_threads = options_.num_threads});
+    std::unique_ptr<WorldView> fresh = MakeWorldView(
+        graph_, WorldViewOptions{.num_samples = options_.num_samples,
+                                 .seed = options_.seed,
+                                 .num_threads = options_.num_threads,
+                                 .num_partitions = options_.num_partitions});
     index_->ApplyBankUpdate(*fresh,
                             ReliabilityIndex::DiffWorlds(*bank_, *fresh));
     bank_ = std::move(fresh);
@@ -57,10 +53,11 @@ void QueryEngine::SyncWithGraph() {
 
 void QueryEngine::EnsureBank() {
   if (bank_ != nullptr) return;
-  bank_ = std::make_unique<WorldBank>(
-      graph_, WorldBank::Options{.num_samples = options_.num_samples,
-                                 .seed = options_.seed,
-                                 .num_threads = options_.num_threads});
+  bank_ = MakeWorldView(
+      graph_, WorldViewOptions{.num_samples = options_.num_samples,
+                               .seed = options_.seed,
+                               .num_threads = options_.num_threads,
+                               .num_partitions = options_.num_partitions});
   all_edges_ = bank_->AllEdges();
   indexed_nodes_ = graph_.num_nodes();
   indexed_endpoints_.clear();
@@ -85,10 +82,13 @@ bool QueryEngine::GraphExtendsIndexedShape() const {
 bool QueryEngine::UseSharedWorlds() const {
   if (!options_.reuse_worlds) return false;
   if (options_.estimator != Estimator::kMonteCarlo) return false;
-  const size_t words = WorldWords(options_.num_samples);
-  return graph_.num_edges() * words * 8 <= options_.max_bank_bytes &&
-         static_cast<size_t>(graph_.num_nodes()) * words * 8 <=
-             options_.max_flood_bytes_per_lane;
+  // Admission is per shard: one balanced shard of ceil(E / P) bank rows must
+  // fit max_bank_bytes (P == 1 reduces to the old whole-bank check).
+  const int shards = std::max(options_.num_partitions, 1);
+  return BankBytes(BalancedShardRows(graph_.num_edges(), shards),
+                   options_.num_samples) <= options_.max_bank_bytes &&
+         BankBytes(static_cast<size_t>(graph_.num_nodes()),
+                   options_.num_samples) <= options_.max_flood_bytes_per_lane;
 }
 
 bool QueryEngine::UseIndex() const {
@@ -136,7 +136,7 @@ void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
       pairs_of_source[it->second].push_back(i);
     }
     std::vector<double> values(pairs.size());
-    const WorldBank& bank = *bank_;
+    const WorldView& bank = *bank_;
     const int num_worlds = bank.num_worlds();
     ForEachShard(
         sources.size(), options_.num_threads,
@@ -146,7 +146,7 @@ void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
           bank.ReachabilityFixpoint(sources[i], /*backward=*/false,
                                     all_edges_, reach.get());
           for (size_t idx : pairs_of_source[i]) {
-            values[idx] = static_cast<double>(WorldBank::CountBits(
+            values[idx] = static_cast<double>(WorldView::CountBits(
                               reach->row_span(pairs[idx].t),
                               static_cast<size_t>(num_worlds))) /
                           num_worlds;
@@ -165,12 +165,15 @@ void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
   // footprint caps pushed us here, that is a silent 10-100x slowdown unless
   // we surface it.
   if (options_.reuse_worlds && options_.estimator == Estimator::kMonteCarlo) {
-    const size_t words = WorldWords(options_.num_samples);
-    const size_t bank_bytes = graph_.num_edges() * words * 8;
-    const size_t flood_bytes =
-        static_cast<size_t>(graph_.num_nodes()) * words * 8;
-    if (bank_bytes > options_.max_bank_bytes) {
-      NoteBankFallback("query engine", bank_bytes, options_.max_bank_bytes);
+    const int shards = std::max(options_.num_partitions, 1);
+    const size_t shard_bytes =
+        BankBytes(BalancedShardRows(graph_.num_edges(), shards),
+                  options_.num_samples);
+    const size_t flood_bytes = BankBytes(
+        static_cast<size_t>(graph_.num_nodes()), options_.num_samples);
+    if (shard_bytes > options_.max_bank_bytes) {
+      NoteBankFallback("query engine", shard_bytes, options_.max_bank_bytes,
+                       shards);
     } else {
       NoteBankFallback("query engine (flood lane)", flood_bytes,
                        options_.max_flood_bytes_per_lane);
@@ -284,6 +287,9 @@ StatusOr<BatchResult> QueryEngine::Answer(const QuerySet& set) {
       cache_order_.pop_front();
       ++result.stats.cache_evictions;
     }
+  }
+  if (bank_ != nullptr) {
+    result.stats.shard_bank_bytes = bank_->ShardBankBytes();
   }
   result.stats.seconds = timer.ElapsedSeconds();
   return result;

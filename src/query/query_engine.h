@@ -42,6 +42,12 @@ struct QueryEngineOptions {
   /// on top of reuse_worlds; when the index is disabled or over its caps the
   /// engine floods exactly as before.
   bool use_index = false;
+  /// Partition shards for the shared bank (`--partitions`). 1 keeps the
+  /// flat WorldBank; >1 edge-cut partitions the graph and shards the bank's
+  /// bit-matrix, turning max_bank_bytes into a per-shard budget. Answers
+  /// are bit-identical for any value — the sharded fill replays the flat
+  /// bank's canonical draw stream and floods converge to the same fixpoint.
+  int num_partitions = 1;
   /// Footprint caps forwarded to the index (label planes, directed reach
   /// cache). num_threads is overridden by the engine's own knob.
   ReliabilityIndex::Options index;
@@ -58,10 +64,13 @@ struct QueryEngineOptions {
   /// above override the matching RssOptions fields).
   RssOptions rss;
   /// Footprint caps for the shared-world fast path (mirroring the greedy
-  /// baselines' bank cap): the bank is edges × worlds bits, and each flood
-  /// lane additionally holds a nodes × worlds reach matrix. Beyond either
-  /// cap the engine falls back to per-query estimation rather than swapping;
-  /// each such batch bumps BatchStats::bank_fallbacks and warns on stderr.
+  /// baselines' bank cap): the bank is edges × worlds bits **per shard**
+  /// (one balanced shard of ceil(E / num_partitions) rows is metered
+  /// against max_bank_bytes, so more partitions admit bigger graphs), and
+  /// each flood lane additionally holds a nodes × worlds reach matrix.
+  /// Beyond either cap the engine falls back to per-query estimation rather
+  /// than swapping; each such batch bumps BatchStats::bank_fallbacks and
+  /// warns on stderr with the per-shard MiB wanted vs the cap.
   size_t max_bank_bytes = size_t{256} << 20;
   size_t max_flood_bytes_per_lane = size_t{64} << 20;
 };
@@ -92,6 +101,10 @@ struct BatchStats {
   size_t index_answers = 0;
   /// Result-cache entries evicted by this batch (max_cache_entries cap).
   size_t cache_evictions = 0;
+  /// Logical bank bytes held per shard (WorldView::ShardBankBytes) — one
+  /// entry for the flat bank, num_partitions entries for a sharded one;
+  /// empty when no bank was built (fallback path / shared worlds off).
+  std::vector<size_t> shard_bank_bytes;
   double seconds = 0.0;
 };
 
@@ -197,7 +210,7 @@ class QueryEngine {
   const UncertainGraph& graph_;
   QueryEngineOptions options_;
   uint64_t graph_version_;
-  std::unique_ptr<WorldBank> bank_;
+  std::unique_ptr<WorldView> bank_;
   std::unique_ptr<ReliabilityIndex> index_;
   std::vector<EdgeId> all_edges_;
   // Graph shape the bank was sampled against: node count plus the endpoints

@@ -1,0 +1,256 @@
+#include "sampling/sharded_world_bank.h"
+
+#include <array>
+#include <memory>
+
+#include "common/logging.h"
+#include "sampling/world_bank.h"
+
+namespace relmax {
+
+ShardedWorldBank::ShardedWorldBank(const UncertainGraph& universe,
+                                   const WorldViewOptions& options)
+    : universe_(universe),
+      num_worlds_(options.num_samples),
+      world_words_((static_cast<size_t>(options.num_samples) + 63) / 64),
+      num_edges_(universe.num_edges()),
+      partition_(PartitionGraph(universe,
+                                {.num_shards = options.num_partitions,
+                                 .seed = options.seed})) {
+  RELMAX_CHECK(options.num_samples > 0);
+  const int num_shards = partition_.num_shards;
+  // Shard-local row ids: ascending edge-id order within each shard, so the
+  // whole layout is reproducible from the partition's node map alone.
+  edge_local_.resize(num_edges_);
+  std::vector<size_t> rows(num_shards, 0);
+  for (size_t e = 0; e < num_edges_; ++e) {
+    edge_local_[e] =
+        static_cast<uint32_t>(rows[partition_.edge_shard[e]]++);
+  }
+  up_.reserve(num_shards);
+  for (int k = 0; k < num_shards; ++k) up_.emplace_back(rows[k], world_words_);
+  // The canonical fill: identical draw stream to the flat WorldBank; only
+  // the scatter destination below differs (see the class comment).
+  const uint32_t* const edge_shard = partition_.edge_shard.data();
+  const uint32_t* const edge_local = edge_local_.data();
+  internal::FillBankColumns(
+      universe, options.num_samples, options.seed, options.num_threads,
+      [&](size_t word, const uint64_t* col) {
+        for (size_t e = 0; e < num_edges_; ++e) {
+          up_[edge_shard[e]].row(edge_local[e])[word] = col[e];
+        }
+      });
+  BuildShardCsrs();
+}
+
+std::vector<size_t> ShardedWorldBank::ShardBankBytes() const {
+  std::vector<size_t> bytes(partition_.num_shards);
+  for (int k = 0; k < partition_.num_shards; ++k) {
+    bytes[k] = up_[k].rows() * world_words_ * sizeof(uint64_t);
+  }
+  return bytes;
+}
+
+void ShardedWorldBank::BuildShardCsrs() {
+  const NodeId n = universe_.num_nodes();
+  const int num_shards = partition_.num_shards;
+  const auto build = [&](const CsrView& csr, std::vector<ShardCsr>* out,
+                         std::vector<uint64_t>* mask) {
+    out->assign(num_shards, ShardCsr{});
+    mask->assign(n, 0);
+    // Counting sort of arcs into (shard, node) buckets, preserving the
+    // global CSR's arc order within each bucket.
+    std::vector<std::vector<size_t>> counts(
+        num_shards, std::vector<size_t>(static_cast<size_t>(n) + 1, 0));
+    for (NodeId u = 0; u < n; ++u) {
+      for (size_t a = csr.begin(u); a < csr.end(u); ++a) {
+        ++counts[partition_.edge_shard[csr.edge_ids[a]]][u + 1];
+      }
+    }
+    for (int k = 0; k < num_shards; ++k) {
+      ShardCsr& sc = (*out)[k];
+      sc.offsets.assign(static_cast<size_t>(n) + 1, 0);
+      for (NodeId u = 0; u < n; ++u) {
+        sc.offsets[u + 1] = sc.offsets[u] + counts[k][u + 1];
+      }
+      sc.heads.resize(sc.offsets[n]);
+      sc.edge_ids.resize(sc.offsets[n]);
+    }
+    std::array<size_t, kMaxPartitionShards> pos;
+    for (NodeId u = 0; u < n; ++u) {
+      for (int k = 0; k < num_shards; ++k) pos[k] = (*out)[k].offsets[u];
+      for (size_t a = csr.begin(u); a < csr.end(u); ++a) {
+        const EdgeId e = csr.edge_ids[a];
+        const uint32_t k = partition_.edge_shard[e];
+        ShardCsr& sc = (*out)[k];
+        sc.heads[pos[k]] = csr.heads[a];
+        sc.edge_ids[pos[k]] = e;
+        ++pos[k];
+        (*mask)[u] |= uint64_t{1} << k;
+      }
+    }
+  };
+  build(universe_.OutCsr(), &fwd_, &fwd_node_mask_);
+  if (universe_.directed()) {
+    build(universe_.InCsr(), &bwd_, &bwd_node_mask_);
+  }
+}
+
+int64_t ShardedWorldBank::ReachabilityFixpoint(
+    NodeId source, bool backward, const std::vector<EdgeId>& active,
+    bitlane::BitMatrix* reach, SeedPolicy seeds) const {
+  RELMAX_CHECK(source < universe_.num_nodes());
+  const size_t num_nodes = universe_.num_nodes();
+  const int num_shards = partition_.num_shards;
+  const bool reallocated = reach->EnsureShape(num_nodes, world_words_);
+  if (!reallocated && seeds == SeedPolicy::kClearScratch) {
+    reach->Clear();
+  }
+  uint64_t* const at_source = reach->row(source);
+  for (size_t w = 0; w < world_words_; ++w) at_source[w] = ~uint64_t{0};
+  if (num_worlds_ & 63) {
+    at_source[world_words_ - 1] = (uint64_t{1} << (num_worlds_ & 63)) - 1;
+  }
+
+  // Boundary-exchange frontier flood. Bookkeeping mirrors the flat bank's
+  // worklist (per-node dirty bits over lane blocks), but kept **per shard**:
+  // dirty[(k·n + v)·mask_words + mw] says shard k still has to relax block
+  // bits of node v. When shard k's local flood changes a block of node v,
+  // the block is marked dirty in *every* shard with arcs out of v — that is
+  // the boundary exchange; interior nodes have exactly one bit set in their
+  // shard mask, so they re-enter only their own shard's worklist. Shards
+  // drain one at a time (all writes to the shared reach matrix stay
+  // single-threaded and deterministic); rounds repeat until no shard has
+  // work, i.e. until no shard reported changed-block propagations.
+  const size_t blocks = reach->blocks_per_row();
+  const size_t mask_words = (blocks + 63) / 64;
+  thread_local std::vector<uint64_t> dirty_storage;
+  thread_local std::vector<uint8_t> queued_storage;
+  thread_local std::vector<uint8_t> active_storage;
+  thread_local std::vector<std::vector<NodeId>> worklists;
+  thread_local std::vector<uint64_t> popped_mask;
+  dirty_storage.assign(static_cast<size_t>(num_shards) * num_nodes *
+                           mask_words,
+                       0);
+  queued_storage.assign(static_cast<size_t>(num_shards) * num_nodes, 0);
+  active_storage.assign(num_edges_, 0);
+  worklists.resize(num_shards);
+  for (auto& wl : worklists) wl.clear();
+  popped_mask.resize(mask_words);
+  uint64_t* const dirty = dirty_storage.data();
+  uint8_t* const queued = queued_storage.data();
+  uint8_t* const active_flag = active_storage.data();
+  for (EdgeId e : active) {
+    if (e < num_edges_) active_flag[e] = 1;
+  }
+
+  const std::vector<ShardCsr>& csrs =
+      (backward && universe_.directed()) ? bwd_ : fwd_;
+  const std::vector<uint64_t>& node_mask =
+      (backward && universe_.directed()) ? bwd_node_mask_ : fwd_node_mask_;
+
+  // Hand (v, block bits at mask word mw) to every shard with arcs out of v.
+  const auto enqueue = [&](NodeId v, size_t mw, uint64_t bits) {
+    uint64_t shards = node_mask[v];
+    while (shards != 0) {
+      const size_t k = static_cast<size_t>(__builtin_ctzll(shards));
+      shards &= shards - 1;
+      const size_t slot = k * num_nodes + v;
+      dirty[slot * mask_words + mw] |= bits;
+      if (queued[slot] == 0) {
+        queued[slot] = 1;
+        worklists[k].push_back(v);
+      }
+    }
+  };
+
+  const uint64_t all_blocks_mask =
+      (blocks & 63) ? (uint64_t{1} << (blocks & 63)) - 1 : ~uint64_t{0};
+  if (seeds == SeedPolicy::kSeedsAreFacts && !reallocated) {
+    for (size_t v = 0; v < num_nodes; ++v) {
+      const uint64_t* const row = reach->row(v);
+      for (size_t b = 0; b < blocks; ++b) {
+        uint64_t any = 0;
+        for (size_t i = 0; i < bitlane::kLaneWords; ++i) {
+          any |= row[b * bitlane::kLaneWords + i];
+        }
+        if (any != 0) {
+          enqueue(static_cast<NodeId>(v), b >> 6, uint64_t{1} << (b & 63));
+        }
+      }
+    }
+  } else {
+    for (size_t mw = 0; mw + 1 < mask_words; ++mw) {
+      enqueue(source, mw, ~uint64_t{0});
+    }
+    enqueue(source, mask_words - 1, all_blocks_mask);
+  }
+
+  const bool scalar = bitlane::Mode() == bitlane::LaneMode::kScalar;
+  int64_t propagated = 0;
+  bool any_work = true;
+  while (any_work) {
+    any_work = false;
+    for (int k = 0; k < num_shards; ++k) {
+      std::vector<NodeId>& worklist = worklists[k];
+      if (worklist.empty()) continue;
+      any_work = true;
+      const ShardCsr& csr = csrs[k];
+      // The drain below may push onto this same worklist (intra-shard
+      // frontier growth), extending the loop — exactly the flat kernel's
+      // FIFO behavior, scoped to shard k's arcs.
+      for (size_t head = 0; head < worklist.size(); ++head) {
+        const NodeId u = worklist[head];
+        const size_t slot = static_cast<size_t>(k) * num_nodes + u;
+        queued[slot] = 0;
+        uint64_t* const du = dirty + slot * mask_words;
+        for (size_t mw = 0; mw < mask_words; ++mw) {
+          popped_mask[mw] = du[mw];
+          du[mw] = 0;
+        }
+        const uint64_t* const src_row = reach->row(u);
+        const size_t arcs_end = csr.offsets[u + 1];
+        for (size_t a = csr.offsets[u]; a < arcs_end; ++a) {
+          const EdgeId e = csr.edge_ids[a];
+          if (active_flag[e] == 0) continue;
+          const NodeId v = csr.heads[a];
+          if (v == u) continue;  // self-loop: cannot change reachability
+          const uint64_t* const up =
+              up_[k].row(edge_local_[e]);
+          uint64_t* const dst_row = reach->row(v);
+          for (size_t mw = 0; mw < mask_words; ++mw) {
+            uint64_t avail = popped_mask[mw];
+            while (avail != 0) {
+              const size_t b =
+                  mw * 64 + static_cast<size_t>(__builtin_ctzll(avail));
+              avail &= avail - 1;
+              const size_t off = b * bitlane::kLaneWords;
+              const uint64_t changed =
+                  scalar ? bitlane::PropagateBlockScalar(src_row + off,
+                                                         up + off,
+                                                         dst_row + off)
+                         : bitlane::PropagateBlock(src_row + off, up + off,
+                                                   dst_row + off);
+              if (changed != 0) {
+                ++propagated;
+                enqueue(v, mw, uint64_t{1} << (b & 63));
+              }
+            }
+          }
+        }
+      }
+      worklist.clear();
+    }
+  }
+  return propagated;
+}
+
+std::unique_ptr<WorldView> MakeWorldView(const UncertainGraph& universe,
+                                         const WorldViewOptions& options) {
+  if (options.num_partitions <= 1) {
+    return std::make_unique<WorldBank>(universe, options);
+  }
+  return std::make_unique<ShardedWorldBank>(universe, options);
+}
+
+}  // namespace relmax

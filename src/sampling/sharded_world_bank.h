@@ -1,0 +1,109 @@
+#ifndef RELMAX_SAMPLING_SHARDED_WORLD_BANK_H_
+#define RELMAX_SAMPLING_SHARDED_WORLD_BANK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/uncertain_graph.h"
+#include "partition/partitioner.h"
+#include "sampling/bitlane.h"
+#include "sampling/world_view.h"
+
+namespace relmax {
+
+/// A WorldBank split across partition shards: the graph is edge-cut
+/// partitioned (partition/partitioner.h) and each shard owns the BitMatrix
+/// rows of its own edges, so no single allocation has to hold the whole
+/// edges × worlds matrix. This lifts the flat bank's footprint cap from a
+/// cliff ("fall back to re-sampling") into a per-shard budget ("add
+/// shards").
+///
+/// Canonical-layout bit-identity: the fill runs the **exact same draw
+/// stream** as the flat WorldBank (internal::FillBankColumns) — partitioning
+/// changes only where each edge's words are stored, never which bits are
+/// drawn. EdgeUpWorlds(e) therefore returns bit-identical words for any
+/// shard count, and since the reachability fixpoint of the monotone word
+/// algebra is unique, every flood answer is bit-identical to the 1-shard
+/// canonical layout too. This is what lets tests pin answers across
+/// {shards} × {threads} × {lanes} and lets the incremental index diff banks
+/// built with different partition counts.
+///
+/// The fixpoint is a per-shard frontier worklist with boundary exchange:
+/// each shard floods locally over its own sub-CSR (only arcs whose edge it
+/// owns), and when a flood changes a lane block of a node that other shards
+/// touch, that (node, block) is handed to those shards' worklists — the
+/// "changed boundary lane blocks" swap. Rounds repeat until no shard has
+/// work, i.e. no shard reported changed-block propagations. Shards drain
+/// sequentially within a round, so all writes to the one global reach
+/// matrix stay single-threaded and deterministic.
+class ShardedWorldBank : public WorldView {
+ public:
+  /// Partitions `universe` into options.num_partitions shards (clamped, see
+  /// PartitionOptions) using options.seed, then samples options.num_samples
+  /// worlds through the canonical fill. The universe must outlive the bank.
+  ShardedWorldBank(const UncertainGraph& universe,
+                   const WorldViewOptions& options);
+
+  int num_worlds() const override { return num_worlds_; }
+  const UncertainGraph& universe() const override { return universe_; }
+  size_t num_edges() const override { return num_edges_; }
+  size_t world_words() const override { return world_words_; }
+  int num_shards() const override { return partition_.num_shards; }
+  std::vector<size_t> ShardBankBytes() const override;
+  const Partition* partition() const override { return &partition_; }
+
+  std::span<const uint64_t> EdgeUpWorlds(EdgeId e) const override {
+    return up_[partition_.edge_shard[e]].row_span(edge_local_[e]);
+  }
+
+  /// Same contract as WorldBank::ReachabilityFixpoint (same answers, bit
+  /// for bit), computed shard-locally with boundary exchange. The returned
+  /// changed-block count still satisfies "0 iff the seeded state was
+  /// already a fixpoint", though the nonzero magnitude can differ from the
+  /// flat bank's (blocks may cross shard seams in a different relaxation
+  /// order).
+  ///
+  /// Note: the per-shard sub-CSRs are snapshotted at construction, so the
+  /// flood only knows arcs that existed then — consistent with `active`
+  /// edge ids being bounded by num_edges() (the construction-time count).
+  int64_t ReachabilityFixpoint(
+      NodeId source, bool backward, const std::vector<EdgeId>& active,
+      bitlane::BitMatrix* reach,
+      SeedPolicy seeds = SeedPolicy::kClearScratch) const override;
+
+ private:
+  /// Arcs of one direction restricted to one shard's owned edges, CSR over
+  /// *global* node ids (offsets has num_nodes + 1 entries).
+  struct ShardCsr {
+    std::vector<size_t> offsets;
+    std::vector<NodeId> heads;
+    std::vector<EdgeId> edge_ids;
+  };
+
+  void BuildShardCsrs();
+
+  const UncertainGraph& universe_;
+  int num_worlds_;
+  size_t world_words_;
+  size_t num_edges_;
+  Partition partition_;
+  /// edge -> row within its owning shard's matrix (edges stay in ascending
+  /// edge-id order within a shard, so the layout is reproducible from the
+  /// partition alone).
+  std::vector<uint32_t> edge_local_;
+  /// One bit-matrix per shard: rows are the shard's owned edges.
+  std::vector<bitlane::BitMatrix> up_;
+  /// Per shard, out-direction arcs of owned edges; `bwd_` only for directed
+  /// graphs (undirected out-CSRs already carry both arc copies).
+  std::vector<ShardCsr> fwd_;
+  std::vector<ShardCsr> bwd_;
+  /// Bit k set iff node v has fwd_[k] (resp. bwd_[k]) arcs — the shards
+  /// that must be told when v's reach row changes.
+  std::vector<uint64_t> fwd_node_mask_;
+  std::vector<uint64_t> bwd_node_mask_;
+};
+
+}  // namespace relmax
+
+#endif  // RELMAX_SAMPLING_SHARDED_WORLD_BANK_H_

@@ -2,13 +2,33 @@
 #define RELMAX_SAMPLING_WORLD_BANK_H_
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
 #include "graph/uncertain_graph.h"
 #include "sampling/bitlane.h"
+#include "sampling/world_view.h"
 
 namespace relmax {
+
+namespace internal {
+
+/// The canonical bank fill: samples `num_samples` worlds over `universe`'s
+/// edges with the counter-seeded sharded executor and hands each completed
+/// 64-world column batch to `store(word, col)`, where `col[e]` is bit-word
+/// `word` of edge e's world bitset. Both the flat and the sharded bank are
+/// filled through this one function, so their draws are the **same stream**
+/// — only the storage destination differs. That is the canonical-layout
+/// bit-identity contract: every stored bit is a pure function of
+/// (edge probs, num_samples, seed), independent of threads and partitions.
+/// `store` runs concurrently for distinct words; words never repeat.
+void FillBankColumns(
+    const UncertainGraph& universe, int num_samples, uint64_t seed,
+    int num_threads,
+    const std::function<void(size_t word, const uint64_t* col)>& store);
+
+}  // namespace internal
 
 /// A bank of Z possible worlds sampled **once** over a (small) graph's edge
 /// universe, stored as an edges × worlds presence bit-matrix.
@@ -40,61 +60,43 @@ namespace relmax {
 /// algebra is unique, so block scheduling cannot change the converged bits.
 /// The bank is immutable after construction and safe to read from multiple
 /// threads.
-class WorldBank {
+///
+/// This is the 1-shard WorldView; ShardedWorldBank (sharded_world_bank.h)
+/// splits the same bits across partition shards for graphs whose flat
+/// matrix would bust a footprint cap. MakeWorldView picks between them.
+class WorldBank : public WorldView {
  public:
-  struct Options {
-    int num_samples = 500;
-    uint64_t seed = 42;
-    /// Lanes used only while filling the matrix; <= 0 means all hardware
-    /// threads. The stored bits do not depend on it.
-    int num_threads = 1;
-  };
+  /// num_partitions is accepted for WorldViewOptions compatibility but
+  /// ignored here — the flat bank is always one shard. Use MakeWorldView
+  /// to honor it.
+  using Options = WorldViewOptions;
 
   /// Samples `options.num_samples` worlds over `universe`'s edges. The
   /// universe graph must outlive the bank.
   WorldBank(const UncertainGraph& universe, const Options& options);
 
-  int num_worlds() const { return num_worlds_; }
-  const UncertainGraph& universe() const { return universe_; }
+  int num_worlds() const override { return num_worlds_; }
+  const UncertainGraph& universe() const override { return universe_; }
 
   /// Edge rows in the bank — the universe's edge count **at construction**.
   /// If the graph is mutated afterwards, universe().num_edges() can exceed
   /// this; bank readers must size loops by this count, never the graph's.
-  size_t num_edges() const { return up_.rows(); }
+  size_t num_edges() const override { return up_.rows(); }
 
   /// Words in a world-indexed bitset (ceil(num_worlds / 64)).
-  size_t world_words() const { return world_words_; }
+  size_t world_words() const override { return world_words_; }
+
+  int num_shards() const override { return 1; }
+  std::vector<size_t> ShardBankBytes() const override {
+    return {up_.rows() * world_words_ * sizeof(uint64_t)};
+  }
 
   /// World-indexed bitset: the worlds in which logical edge `e` exists.
   /// A view into the bank's row (world_words() words); valid as long as the
   /// bank lives.
-  std::span<const uint64_t> EdgeUpWorlds(EdgeId e) const {
+  std::span<const uint64_t> EdgeUpWorlds(EdgeId e) const override {
     return up_.row_span(e);
   }
-
-  /// Presence of logical edge `e` in world `w`.
-  bool EdgePresent(int w, EdgeId e) const {
-    return (up_.row(e)[static_cast<size_t>(w) >> 6] >> (w & 63)) & 1u;
-  }
-
-  /// World-indexed bitset with bit w set iff **every** edge in `edges` is
-  /// present in world w — e.g. the worlds where a whole path is up.
-  std::vector<uint64_t> WorldsWithAllEdges(
-      const std::vector<EdgeId>& edges) const;
-
-  /// What the fixpoint does with bits already set in a caller-provided
-  /// `reach` scratch whose shape matches the bank.
-  enum class SeedPolicy {
-    /// Zero every non-source row first (the safe default). A scratch reused
-    /// across sources needs no caller-side clear() — stale bits from the
-    /// previous flood can never leak into the next answer.
-    kClearScratch,
-    /// Keep pre-set bits and treat them as already-reached facts. Explicit
-    /// opt-in for callers that intentionally seed the scratch: per-path
-    /// WorldsWithAllEdges bitsets OR-ed into row t, or a previous round's
-    /// flood when the active edge set only ever grows.
-    kSeedsAreFacts,
-  };
 
   /// Computes, for every world simultaneously, which nodes are reachable
   /// from `source` using only `active` edges that are up in that world:
@@ -102,8 +104,8 @@ class WorldBank {
   /// With `backward`, directed graphs propagate against arc direction
   /// (reachability *to* `source`). `*reach` is shaped to
   /// (num_nodes × world_words) and zeroed unless it already matches and
-  /// `seeds == kSeedsAreFacts` (see SeedPolicy). Iterating `active` in
-  /// rough path order converges in ~2 passes.
+  /// `seeds == kSeedsAreFacts` (see WorldView::SeedPolicy). Iterating
+  /// `active` in rough path order converges in ~2 passes.
   ///
   /// Returns the number of (edge, lane-block) propagation steps that
   /// actually added bits — 0 iff the seeded state was already a fixpoint.
@@ -113,20 +115,7 @@ class WorldBank {
   int64_t ReachabilityFixpoint(
       NodeId source, bool backward, const std::vector<EdgeId>& active,
       bitlane::BitMatrix* reach,
-      SeedPolicy seeds = SeedPolicy::kClearScratch) const;
-
-  /// Convenience: fraction of worlds where t is reachable from s over the
-  /// `active` edges (R(s, t) restricted to that edge subset), with
-  /// `seed_connected` (may be empty) as trusted already-connected worlds.
-  double ConnectedFraction(NodeId s, NodeId t,
-                           const std::vector<EdgeId>& active,
-                           std::vector<uint64_t> seed_connected) const;
-
-  /// All universe edge ids, in id (insertion) order.
-  std::vector<EdgeId> AllEdges() const;
-
-  /// Popcount of a bitset, counting only bits below `limit`.
-  static int64_t CountBits(std::span<const uint64_t> bits, size_t limit);
+      SeedPolicy seeds = SeedPolicy::kClearScratch) const override;
 
  private:
   const UncertainGraph& universe_;
@@ -142,9 +131,11 @@ class WorldBank {
 /// re-sampling — correct but much slower. Each such event calls
 /// NoteBankFallback, which bumps a process-wide counter (surfaced as
 /// `bank_fallbacks` in batch stats) and prints a one-line stderr warning so
-/// operators can see they have fallen off the fast path.
+/// operators can see they have fallen off the fast path. The budget is
+/// per-shard: `wanted_bytes` is the (balanced) footprint of one shard and
+/// `num_shards` says how many shards that estimate assumed.
 void NoteBankFallback(const char* consumer, size_t wanted_bytes,
-                      size_t cap_bytes);
+                      size_t cap_bytes, int num_shards = 1);
 int64_t BankFallbackCount();
 
 }  // namespace relmax

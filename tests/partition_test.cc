@@ -1,0 +1,168 @@
+// PartitionGraph: the BFS/label-propagation edge-cut partitioner behind the
+// sharded WorldBank. The contract under test: the partition is a pure
+// function of (graph, options) — deterministic for a given seed — every node
+// and edge is assigned exactly once, edge ownership follows the documented
+// min-endpoint-shard rule, boundary bookkeeping (lists + per-node shard
+// masks) is consistent with the assignment, and degenerate shard counts
+// (1, > nodes, > kMaxPartitionShards) clamp instead of crashing.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+#include "partition/partitioner.h"
+
+namespace relmax {
+namespace {
+
+UncertainGraph RandomGraph(uint64_t seed, NodeId n, double density,
+                           bool directed) {
+  UncertainGraph g = directed ? UncertainGraph::Directed(n)
+                              : UncertainGraph::Undirected(n);
+  Rng rng(seed);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = directed ? 0 : u + 1; v < n; ++v) {
+      if (u == v) continue;
+      if (rng.NextDouble() < density) {
+        EXPECT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.1, 0.9)).ok());
+      }
+    }
+  }
+  return g;
+}
+
+// Structural invariants every partition must satisfy, regardless of graph
+// shape or options.
+void CheckInvariants(const UncertainGraph& g, const Partition& p) {
+  ASSERT_GE(p.num_shards, 1);
+  ASSERT_EQ(p.node_shard.size(), g.num_nodes());
+  ASSERT_EQ(p.edge_shard.size(), g.num_edges());
+  ASSERT_EQ(p.shard_edges.size(), static_cast<size_t>(p.num_shards));
+  ASSERT_EQ(p.boundary_nodes.size(), static_cast<size_t>(p.num_shards));
+  ASSERT_EQ(p.node_shard_mask.size(), g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_LT(p.node_shard[v], static_cast<uint32_t>(p.num_shards));
+  }
+  // Edge ownership: min endpoint shard; shard_edges lists each edge exactly
+  // once, under its owner, in ascending id order.
+  size_t listed = 0;
+  const std::vector<Edge>& edges = g.EdgesById();
+  for (size_t e = 0; e < edges.size(); ++e) {
+    const uint32_t owner =
+        std::min(p.node_shard[edges[e].src], p.node_shard[edges[e].dst]);
+    ASSERT_EQ(p.edge_shard[e], owner);
+  }
+  for (int k = 0; k < p.num_shards; ++k) {
+    ASSERT_TRUE(std::is_sorted(p.shard_edges[k].begin(),
+                               p.shard_edges[k].end()));
+    for (EdgeId e : p.shard_edges[k]) {
+      ASSERT_EQ(p.edge_shard[e], static_cast<uint32_t>(k));
+    }
+    listed += p.shard_edges[k].size();
+  }
+  ASSERT_EQ(listed, g.num_edges());
+  // Boundary nodes are exactly the nodes whose shard mask has >= 2 bits, and
+  // a node's own shard is always in its mask when it touches any edge.
+  size_t cut = 0;
+  for (size_t e = 0; e < edges.size(); ++e) {
+    if (p.node_shard[edges[e].src] != p.node_shard[edges[e].dst]) ++cut;
+  }
+  ASSERT_EQ(p.cut_edges, cut);
+  for (int k = 0; k < p.num_shards; ++k) {
+    for (NodeId v : p.boundary_nodes[k]) {
+      ASSERT_GE(__builtin_popcountll(p.node_shard_mask[v]), 2);
+      ASSERT_TRUE((p.node_shard_mask[v] >> k) & 1);
+    }
+  }
+}
+
+TEST(PartitionTest, DeterministicForFixedSeed) {
+  const UncertainGraph g = RandomGraph(17, 40, 0.15, false);
+  for (int shards : {2, 4, 7}) {
+    const PartitionOptions options{.num_shards = shards, .seed = 99};
+    const Partition a = PartitionGraph(g, options);
+    const Partition b = PartitionGraph(g, options);
+    EXPECT_EQ(a.node_shard, b.node_shard);
+    EXPECT_EQ(a.edge_shard, b.edge_shard);
+    EXPECT_EQ(a.node_shard_mask, b.node_shard_mask);
+    EXPECT_EQ(a.cut_edges, b.cut_edges);
+    EXPECT_EQ(a.boundary_nodes, b.boundary_nodes);
+    CheckInvariants(g, a);
+  }
+}
+
+TEST(PartitionTest, InvariantsHoldAcrossShapes) {
+  for (bool directed : {false, true}) {
+    for (uint64_t seed : {1u, 2u, 3u}) {
+      const UncertainGraph g = RandomGraph(seed, 25, 0.2, directed);
+      for (int shards : {1, 2, 3, 5, 8}) {
+        const Partition p =
+            PartitionGraph(g, {.num_shards = shards, .seed = 7});
+        EXPECT_EQ(p.num_shards, shards);
+        CheckInvariants(g, p);
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, SingleShardOwnsEverything) {
+  const UncertainGraph g = RandomGraph(5, 12, 0.3, false);
+  const Partition p = PartitionGraph(g, {.num_shards = 1, .seed = 42});
+  EXPECT_EQ(p.num_shards, 1);
+  EXPECT_EQ(p.cut_edges, 0u);
+  EXPECT_EQ(p.shard_edges[0].size(), g.num_edges());
+  for (int k = 0; k < p.num_shards; ++k) {
+    EXPECT_TRUE(p.boundary_nodes[k].empty());
+  }
+  CheckInvariants(g, p);
+}
+
+TEST(PartitionTest, ShardCountClampsToNodesAndMask) {
+  const UncertainGraph g = RandomGraph(3, 5, 0.5, false);
+  // More shards than nodes: clamps to n.
+  const Partition p = PartitionGraph(g, {.num_shards = 50, .seed = 1});
+  EXPECT_EQ(p.num_shards, 5);
+  CheckInvariants(g, p);
+  // More shards than the 64-shard mask limit: clamps to 64.
+  const UncertainGraph big = RandomGraph(8, 100, 0.05, false);
+  const Partition q = PartitionGraph(big, {.num_shards = 200, .seed = 1});
+  EXPECT_EQ(q.num_shards, kMaxPartitionShards);
+  CheckInvariants(big, q);
+}
+
+TEST(PartitionTest, FlagsEmptyEdgeShards) {
+  // A 2-node, 1-edge graph split into 2 shards: the single edge has one
+  // owner, so the other shard owns nothing and the partition says so.
+  UncertainGraph g = UncertainGraph::Undirected(2);
+  ASSERT_TRUE(g.AddEdge(0, 1, 0.5).ok());
+  const Partition p = PartitionGraph(g, {.num_shards = 2, .seed = 3});
+  EXPECT_TRUE(p.has_empty_shard);
+  CheckInvariants(g, p);
+
+  // A denser graph at 2 shards keeps every shard populated.
+  const UncertainGraph dense = RandomGraph(21, 30, 0.3, false);
+  const Partition q = PartitionGraph(dense, {.num_shards = 2, .seed = 3});
+  EXPECT_FALSE(q.has_empty_shard);
+}
+
+TEST(PartitionTest, RoughBalanceOnRandomGraphs) {
+  // The refinement pass enforces a 1.25x balance cap on node counts; verify
+  // no shard exceeds it (the guard is part of the determinism contract, so
+  // regressions here change partitions everywhere).
+  const UncertainGraph g = RandomGraph(11, 60, 0.1, false);
+  for (int shards : {2, 4}) {
+    const Partition p = PartitionGraph(g, {.num_shards = shards, .seed = 9});
+    std::vector<size_t> sizes(shards, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) ++sizes[p.node_shard[v]];
+    const size_t cap =
+        (static_cast<size_t>(g.num_nodes()) * 5 + 4 * shards - 1) /
+        (4 * shards);
+    for (int k = 0; k < shards; ++k) EXPECT_LE(sizes[k], cap);
+  }
+}
+
+}  // namespace
+}  // namespace relmax

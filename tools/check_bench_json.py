@@ -40,6 +40,8 @@ LABEL_REQUIRED_KEYS = {
                       "speedup_index_vs_flood", "bit_identical"),
     "pr7_pre_simd_baseline": ("cpu_time_ms", "worlds_per_second"),
     "pr7_simd_frontier_kernels": ("cpu_time_ms", "worlds_per_second"),
+    "sharded_flood": ("shards", "worlds_per_second", "peak_rss_bytes",
+                      "bit_identical"),
 }
 
 # Every google-benchmark name the micro-kernel suite may emit (the part
@@ -56,6 +58,7 @@ KNOWN_MICRO_BENCHMARKS = frozenset({
     "BM_YenTopL",
     "BM_SearchSpaceElimination",
     "BM_ReachabilityFixpoint",
+    "BM_ShardedFixpoint",
     "BM_WorldBankFill",
     "BM_WorldEnsembleBuild",
 })

@@ -17,6 +17,9 @@
 // honors the same flag for its shared multi-query world bank, and with
 // --index answers from the offline per-world connectivity index
 // (bit-identical to the flood path; prints an extra `index:` stats line).
+// Bank-backed commands accept --partitions N (default 1): >1 edge-cut
+// partitions the graph and shards the bank's bit-matrix, turning the bank
+// byte cap into a per-shard budget. Results are bit-identical for any value.
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -81,6 +84,29 @@ StatusOr<Estimator> ParseEstimator(const Flags& flags) {
   return Status::InvalidArgument("unknown --estimator (want mc|rss): " + name);
 }
 
+// --partitions must be a positive shard count; 0 or negative is a flag error,
+// not a silent fallback to flat.
+StatusOr<int> ParsePartitions(const Flags& flags) {
+  const int partitions = static_cast<int>(flags.GetInt("partitions", 1));
+  if (partitions <= 0) {
+    return Status::InvalidArgument("--partitions must be >= 1");
+  }
+  return partitions;
+}
+
+// Warns (once per process) when the user asked for more shards than the graph
+// has nodes — the partitioner clamps, so the run proceeds, but the extra
+// shards the user asked for do not exist.
+void WarnIfPartitionsExceedNodes(int partitions, const UncertainGraph& g) {
+  static bool warned = false;
+  if (warned || partitions <= static_cast<int>(g.num_nodes())) return;
+  warned = true;
+  std::fprintf(stderr,
+               "relmax: --partitions %d exceeds the graph's %u nodes; "
+               "clamping to %u shards\n",
+               partitions, g.num_nodes(), g.num_nodes());
+}
+
 StatusOr<SolverOptions> OptionsFromFlags(const Flags& flags) {
   SolverOptions options;
   options.budget_k = static_cast<int>(flags.GetInt("k", 10));
@@ -94,6 +120,9 @@ StatusOr<SolverOptions> OptionsFromFlags(const Flags& flags) {
   options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   options.reuse_worlds = flags.GetBool("reuse-worlds", true);
+  auto partitions = ParsePartitions(flags);
+  RELMAX_RETURN_IF_ERROR(partitions.status());
+  options.num_partitions = *partitions;
   auto estimator = ParseEstimator(flags);
   RELMAX_RETURN_IF_ERROR(estimator.status());
   options.estimator = *estimator;
@@ -153,6 +182,11 @@ int CmdEstimate(const Flags& flags) {
   const int samples = static_cast<int>(flags.GetInt("samples", 2000));
   const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  // estimate never builds a bank, but the --partitions contract (reject <= 0)
+  // holds on every command that admits the flag.
+  const auto partitions = ParsePartitions(flags);
+  if (!partitions.ok()) return Fail(partitions.status().ToString());
+  WarnIfPartitionsExceedNodes(*partitions, *graph);
   const auto estimator = ParseEstimator(flags);
   if (!estimator.ok()) return Fail(estimator.status().ToString());
   WallTimer timer;
@@ -179,6 +213,7 @@ int CmdSolve(const Flags& flags) {
   const NodeId t = static_cast<NodeId>(flags.GetInt("t", 0));
   const auto options = OptionsFromFlags(flags);
   if (!options.ok()) return Fail(options.status().ToString());
+  WarnIfPartitionsExceedNodes(options->num_partitions, *graph);
   const std::string method_name = flags.GetString("method", "be");
   CoreMethod method;
   if (method_name == "be") {
@@ -230,6 +265,7 @@ int CmdMulti(const Flags& flags) {
   }
   const auto options = OptionsFromFlags(flags);
   if (!options.ok()) return Fail(options.status().ToString());
+  WarnIfPartitionsExceedNodes(options->num_partitions, *graph);
   WallTimer timer;
   auto solution = MaximizeMultiReliability(*graph, sources, targets,
                                            aggregate, *options);
@@ -257,6 +293,7 @@ int CmdBudget(const Flags& flags) {
   budget.max_edge_prob = flags.GetDouble("max-edge-prob", 0.95);
   const auto options = OptionsFromFlags(flags);
   if (!options.ok()) return Fail(options.status().ToString());
+  WarnIfPartitionsExceedNodes(options->num_partitions, *graph);
   auto solution = MaximizeReliabilityWithProbabilityBudget(
       *graph, s, t, budget, *options);
   if (!solution.ok()) return Fail(solution.status().ToString());
@@ -288,6 +325,10 @@ int CmdBatch(const Flags& flags) {
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   options.reuse_worlds = flags.GetBool("reuse-worlds", true);
   options.use_index = flags.GetBool("index", false);
+  const auto partitions = ParsePartitions(flags);
+  if (!partitions.ok()) return Fail(partitions.status().ToString());
+  options.num_partitions = *partitions;
+  WarnIfPartitionsExceedNodes(options.num_partitions, *graph);
   const auto estimator = ParseEstimator(flags);
   if (!estimator.ok()) return Fail(estimator.status().ToString());
   options.estimator = *estimator;
@@ -299,14 +340,22 @@ int CmdBatch(const Flags& flags) {
   for (size_t i = 0; i < st.size(); ++i) {
     std::printf("R(%u, %u) = %.4f\n", st[i].s, st[i].t, result->st_values[i]);
   }
+  // Per-shard logical bank bytes: one entry for the flat bank, P entries for
+  // a sharded one, `[]` when the batch never built a bank (fallback path).
+  std::string shard_bytes = "[";
+  for (size_t i = 0; i < result->stats.shard_bank_bytes.size(); ++i) {
+    if (i > 0) shard_bytes += " ";
+    shard_bytes += std::to_string(result->stats.shard_bank_bytes[i]);
+  }
+  shard_bytes += "]";
   std::printf(
       "batch: %zu queries, %zu distinct pairs, %zu floods, "
       "%zu fallback estimates, %zu index answers, "
-      "%zu cache hits (%d samples, %.3f s)\n",
+      "%zu cache hits (%d samples, shard bank bytes %s, %.3f s)\n",
       result->stats.num_queries, result->stats.distinct_pairs,
       result->stats.floods, result->stats.fallback_estimates,
       result->stats.index_answers, result->stats.cache_hits,
-      options.num_samples, timer.ElapsedSeconds());
+      options.num_samples, shard_bytes.c_str(), timer.ElapsedSeconds());
   if (const ReliabilityIndex* index = engine.index()) {
     const ReliabilityIndex::Stats& istats = index->stats();
     std::printf(
