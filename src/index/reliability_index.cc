@@ -92,6 +92,30 @@ ReliabilityIndex::ReliabilityIndex(const WorldView& bank,
   RelabelWorlds(AllWorlds(num_worlds_, world_words_));
 }
 
+ReliabilityIndex::ReliabilityIndex(const WorldView& bank,
+                                   const Options& options,
+                                   std::vector<uint64_t> labels, AdoptLabels)
+    : bank_(&bank),
+      options_(options),
+      num_nodes_(bank.universe().num_nodes()),
+      num_worlds_(bank.num_worlds()),
+      world_words_(bank.world_words()),
+      label_bits_(LabelBits(bank.universe().num_nodes())),
+      directed_(bank.universe().directed()),
+      labels_(std::move(labels)) {
+  RELMAX_CHECK(Fits(bank.universe(), num_worlds_, options_));
+  RELMAX_CHECK(labels_.size() == static_cast<size_t>(num_nodes_) *
+                                     label_bits_ * world_words_);
+  all_edges_ = bank.AllEdges();
+}
+
+std::unique_ptr<ReliabilityIndex> ReliabilityIndex::FromSavedLabels(
+    const WorldView& bank, const Options& options,
+    std::vector<uint64_t> labels) {
+  return std::unique_ptr<ReliabilityIndex>(
+      new ReliabilityIndex(bank, options, std::move(labels), AdoptLabels{}));
+}
+
 void ReliabilityIndex::RelabelWorlds(const std::vector<uint64_t>& mask) {
   const UncertainGraph& universe = bank_->universe();
   const size_t num_rows = static_cast<size_t>(num_nodes_) * label_bits_;
@@ -363,10 +387,15 @@ void ReliabilityIndex::ApplyBankUpdate(const WorldView& fresh,
   bank_ = &fresh;
   all_edges_ = fresh.AllEdges();
   // Reach rows mix affected and unaffected worlds in one flood; rebuild them
-  // lazily rather than patching.
+  // lazily rather than patching. The reach counters reset with the cache —
+  // they describe the cache since its last drop (see Stats) — so incremental
+  // stats stay comparable to a fresh build's instead of over-counting floods
+  // that served the pre-update bank.
   reach_cache_.clear();
   reach_order_.clear();
   stats_.reach_rows_cached = 0;
+  stats_.reach_floods = 0;
+  stats_.reach_row_evictions = 0;
   const size_t worlds = static_cast<size_t>(
       WorldView::CountBits(affected, static_cast<size_t>(num_worlds_)));
   ++stats_.incremental_updates;

@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <deque>
+#include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -83,7 +85,13 @@ class ReliabilityIndex {
     int num_threads = 1;
   };
 
-  /// Build/maintenance accounting (monotonic over the index lifetime).
+  /// Build/maintenance accounting. builds / incremental_updates /
+  /// worlds_relabeled / last_update_worlds are monotonic over the index
+  /// lifetime. The reach_* counters describe the directed lazy reach cache
+  /// **since it was last dropped**: ApplyBankUpdate clears the cache (its
+  /// rows mixed pre-update worlds) and resets all three, so after an
+  /// incremental update they match a fresh build's counters instead of
+  /// carrying floods that served the previous bank.
   struct Stats {
     /// Full builds (constructor).
     size_t builds = 0;
@@ -104,6 +112,17 @@ class ReliabilityIndex {
   /// outlive the index or be replaced via ApplyBankUpdate. Callers should
   /// check Fits() first; an over-cap build is a programmer error (CHECK).
   explicit ReliabilityIndex(const WorldView& bank, const Options& options);
+
+  /// Restores an index from previously saved label planes instead of
+  /// relabeling — the deserialization path (index/index_io.h). `labels` must
+  /// be the label_words() of an index built over a bit-identical bank (same
+  /// universe shape, worlds, and draw stream; the load path validates this
+  /// via the file's digest key before calling). The restored index answers
+  /// bit-identically to the one that was saved; stats().builds and
+  /// stats().worlds_relabeled stay 0 to record that no labeling ran.
+  static std::unique_ptr<ReliabilityIndex> FromSavedLabels(
+      const WorldView& bank, const Options& options,
+      std::vector<uint64_t> labels);
 
   /// Whether the label planes for (g, num_samples) fit under
   /// `options.max_label_bytes`.
@@ -144,11 +163,20 @@ class ReliabilityIndex {
   int label_bits() const { return label_bits_; }
   /// Bytes held by the label planes.
   size_t label_bytes() const { return labels_.size() * sizeof(uint64_t); }
+  /// The raw label planes (plane b of node v starts at word
+  /// (v * label_bits() + b) * world_words) — what index_io serializes and
+  /// FromSavedLabels restores.
+  std::span<const uint64_t> label_words() const { return labels_; }
   /// Bytes held by the directed reach-row cache right now.
   size_t reach_cache_bytes() const;
   const Stats& stats() const { return stats_; }
 
  private:
+  // Tag for the label-adopting constructor behind FromSavedLabels.
+  struct AdoptLabels {};
+  ReliabilityIndex(const WorldView& bank, const Options& options,
+                   std::vector<uint64_t> labels, AdoptLabels);
+
   // Recomputes the label columns of every world set in `mask` from bank_.
   // Affected bits are cleared first; other worlds' bits are untouched.
   void RelabelWorlds(const std::vector<uint64_t>& mask);

@@ -33,19 +33,12 @@ void ForEachNeighbor(const UncertainGraph& g, NodeId u, Fn&& fn) {
 Partition PartitionGraph(const UncertainGraph& g,
                          const PartitionOptions& options) {
   const NodeId n = g.num_nodes();
-  const size_t m = g.num_edges();
 
   int shards = std::min(options.num_shards, kMaxPartitionShards);
   if (shards < 1) shards = 1;
   if (n > 0 && static_cast<NodeId>(shards) > n) shards = static_cast<int>(n);
 
-  Partition part;
-  part.num_shards = shards;
-  part.node_shard.assign(n, 0);
-  part.edge_shard.assign(m, 0);
-  part.shard_edges.resize(shards);
-  part.boundary_nodes.resize(shards);
-  part.node_shard_mask.assign(n, 0);
+  std::vector<uint32_t> node_shard(n, 0);
 
   if (shards > 1) {
     // Phase 1: draw `shards` distinct seed nodes (rejection sampling off a
@@ -70,22 +63,22 @@ Partition PartitionGraph(const UncertainGraph& g,
     // so no single seed can sweep a whole sparse component.
     const size_t max_size = std::max<size_t>(
         1, (static_cast<size_t>(n) * 5 + 4 * shards - 1) / (4 * shards));
-    part.node_shard.assign(n, kNoShard);
+    node_shard.assign(n, kNoShard);
     std::vector<NodeId> queue;
     queue.reserve(n);
     std::vector<size_t> shard_size(shards, 0);
     for (int k = 0; k < shards; ++k) {
-      part.node_shard[seeds[k]] = static_cast<uint32_t>(k);
+      node_shard[seeds[k]] = static_cast<uint32_t>(k);
       ++shard_size[k];
       queue.push_back(seeds[k]);
     }
     for (size_t head = 0; head < queue.size(); ++head) {
       const NodeId u = queue[head];
-      const uint32_t k = part.node_shard[u];
+      const uint32_t k = node_shard[u];
       if (shard_size[k] >= max_size) continue;
       ForEachNeighbor(g, u, [&](NodeId v) {
-        if (part.node_shard[v] == kNoShard && shard_size[k] < max_size) {
-          part.node_shard[v] = k;
+        if (node_shard[v] == kNoShard && shard_size[k] < max_size) {
+          node_shard[v] = k;
           ++shard_size[k];
           queue.push_back(v);
         }
@@ -94,12 +87,12 @@ Partition PartitionGraph(const UncertainGraph& g,
     // Disconnected leftovers go to the currently-smallest shard (ties to
     // the lowest index), walked in node-id order for determinism.
     for (NodeId v = 0; v < n; ++v) {
-      if (part.node_shard[v] != kNoShard) continue;
+      if (node_shard[v] != kNoShard) continue;
       const auto smallest =
           std::min_element(shard_size.begin(), shard_size.end());
       const uint32_t k =
           static_cast<uint32_t>(smallest - shard_size.begin());
-      part.node_shard[v] = k;
+      node_shard[v] = k;
       ++shard_size[k];
     }
 
@@ -114,19 +107,19 @@ Partition PartitionGraph(const UncertainGraph& g,
         bool any = false;
         ForEachNeighbor(g, v, [&](NodeId u) {
           if (u != v) {
-            ++votes[part.node_shard[u]];
+            ++votes[node_shard[u]];
             any = true;
           }
         });
         if (!any) continue;
-        const uint32_t cur = part.node_shard[v];
+        const uint32_t cur = node_shard[v];
         uint32_t best = cur;
         for (int k = 0; k < shards; ++k) {
           if (votes[k] > votes[best]) best = static_cast<uint32_t>(k);
         }
         if (best == cur || votes[best] <= votes[cur]) continue;
         if (shard_size[best] + 1 > max_size || shard_size[cur] <= 1) continue;
-        part.node_shard[v] = best;
+        node_shard[v] = best;
         --shard_size[cur];
         ++shard_size[best];
         moved = true;
@@ -134,6 +127,27 @@ Partition PartitionGraph(const UncertainGraph& g,
       if (!moved) break;
     }
   }
+
+  return PartitionFromNodeShard(g, shards, std::move(node_shard));
+}
+
+Partition PartitionFromNodeShard(const UncertainGraph& g, int num_shards,
+                                 std::vector<uint32_t> node_shard) {
+  const NodeId n = g.num_nodes();
+  const size_t m = g.num_edges();
+  RELMAX_CHECK(num_shards >= 1 && num_shards <= kMaxPartitionShards);
+  RELMAX_CHECK(node_shard.size() == static_cast<size_t>(n));
+  for (NodeId v = 0; v < n; ++v) {
+    RELMAX_CHECK(node_shard[v] < static_cast<uint32_t>(num_shards));
+  }
+
+  Partition part;
+  part.num_shards = num_shards;
+  part.node_shard = std::move(node_shard);
+  part.edge_shard.assign(m, 0);
+  part.shard_edges.resize(num_shards);
+  part.boundary_nodes.resize(num_shards);
+  part.node_shard_mask.assign(n, 0);
 
   // Edge ownership, boundary masks, and per-shard edge lists. Edge-id order
   // makes every shard_edges list ascending by construction.
@@ -159,7 +173,7 @@ Partition PartitionGraph(const UncertainGraph& g,
   }
 
   int empty = 0;
-  for (int k = 0; k < shards; ++k) {
+  for (int k = 0; k < num_shards; ++k) {
     if (part.shard_edges[k].empty()) ++empty;
   }
   if (empty > 0) {
@@ -169,7 +183,7 @@ Partition PartitionGraph(const UncertainGraph& g,
                    "relmax: partitioner: %d of %d shards own no edges "
                    "(graph too small for the requested --partitions); they "
                    "contribute nothing but bookkeeping\n",
-                   empty, shards);
+                   empty, num_shards);
     }
   }
   return part;

@@ -62,6 +62,17 @@ struct Partition {
 Partition PartitionGraph(const UncertainGraph& g,
                          const PartitionOptions& options);
 
+/// Derives the full partition structure — edge ownership, per-shard edge
+/// lists, boundary nodes, shard masks — from a node→shard map alone.
+/// PartitionGraph's growth/refinement phases produce the map and then call
+/// this; a saved index file (index/index_io.h) stores only `node_shard` and
+/// rebuilds the rest here on load, which works because every derived field
+/// is a pure function of (graph shape, node_shard). Each entry must be in
+/// [0, num_shards) and node_shard.size() must equal g.num_nodes() (CHECK —
+/// callers deserializing untrusted data validate first).
+Partition PartitionFromNodeShard(const UncertainGraph& g, int num_shards,
+                                 std::vector<uint32_t> node_shard);
+
 }  // namespace relmax
 
 #endif  // RELMAX_PARTITION_PARTITIONER_H_

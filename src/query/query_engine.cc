@@ -1,6 +1,7 @@
 #include "query/query_engine.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <unordered_set>
 
 #include "common/logging.h"
@@ -20,6 +21,13 @@ QueryEngine::QueryEngine(const UncertainGraph& g,
   RELMAX_CHECK(options_.num_samples > 0);
 }
 
+WorldViewOptions QueryEngine::WorldOptions() const {
+  return WorldViewOptions{.num_samples = options_.num_samples,
+                          .seed = options_.seed,
+                          .num_threads = options_.num_threads,
+                          .num_partitions = options_.num_partitions};
+}
+
 void QueryEngine::SyncWithGraph() {
   if (graph_.version() == graph_version_) return;
   graph_version_ = graph_.version();
@@ -30,34 +38,33 @@ void QueryEngine::SyncWithGraph() {
     // Incremental maintenance: resample the bank — its bits are a pure
     // function of (probs, Z, seed), so this is exactly what a fresh engine
     // would hold — and relabel only the worlds whose edge presence changed.
-    std::unique_ptr<WorldView> fresh = MakeWorldView(
-        graph_, WorldViewOptions{.num_samples = options_.num_samples,
-                                 .seed = options_.seed,
-                                 .num_threads = options_.num_threads,
-                                 .num_partitions = options_.num_partitions});
+    std::unique_ptr<WorldView> fresh = MakeWorldView(graph_, WorldOptions());
     index_->ApplyBankUpdate(*fresh,
                             ReliabilityIndex::DiffWorlds(*bank_, *fresh));
     bank_ = std::move(fresh);
+    // The old bank may have read from the mapped file; with the freshly
+    // sampled bank adopted, the mapping holds nothing live.
+    index_mapping_ = MappedFile();
     all_edges_ = bank_->AllEdges();
     indexed_nodes_ = graph_.num_nodes();
     indexed_endpoints_.clear();
     for (const Edge& e : graph_.EdgesById()) {
       indexed_endpoints_.emplace_back(e.src, e.dst);
     }
+    if (!options_.index_file.empty()) SaveIndexFile();
     return;
   }
-  bank_.reset();
+  // Destruction order matters: the index reads the bank, the bank may read
+  // the mapped file.
   index_.reset();
+  bank_.reset();
+  index_mapping_ = MappedFile();
   all_edges_.clear();
 }
 
 void QueryEngine::EnsureBank() {
   if (bank_ != nullptr) return;
-  bank_ = MakeWorldView(
-      graph_, WorldViewOptions{.num_samples = options_.num_samples,
-                               .seed = options_.seed,
-                               .num_threads = options_.num_threads,
-                               .num_partitions = options_.num_partitions});
+  bank_ = MakeWorldView(graph_, WorldOptions());
   all_edges_ = bank_->AllEdges();
   indexed_nodes_ = graph_.num_nodes();
   indexed_endpoints_.clear();
@@ -92,8 +99,56 @@ bool QueryEngine::UseSharedWorlds() const {
 }
 
 bool QueryEngine::UseIndex() const {
-  return options_.use_index && UseSharedWorlds() &&
+  return (options_.use_index || !options_.index_file.empty()) &&
+         UseSharedWorlds() &&
          ReliabilityIndex::Fits(graph_, options_.num_samples, options_.index);
+}
+
+void QueryEngine::TryLoadIndexFile() {
+  ReliabilityIndex::Options index_options = options_.index;
+  index_options.num_threads = options_.num_threads;
+  StatusOr<LoadedIndex> loaded =
+      LoadIndex(options_.index_file, graph_, WorldOptions(), index_options);
+  if (!loaded.ok()) {
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr,
+                   "relmax: query engine: index file load failed (%s); "
+                   "rebuilding the index from scratch\n",
+                   loaded.status().ToString().c_str());
+      ++index_io_stats_.load_failures;
+    }
+    return;
+  }
+  LoadedIndex li = std::move(loaded).value();
+  index_mapping_ = std::move(li.mapping);
+  bank_ = std::move(li.bank);
+  index_ = std::move(li.index);
+  all_edges_ = bank_->AllEdges();
+  indexed_nodes_ = graph_.num_nodes();
+  indexed_endpoints_.clear();
+  for (const Edge& e : graph_.EdgesById()) {
+    indexed_endpoints_.emplace_back(e.src, e.dst);
+  }
+  ++index_io_stats_.loads;
+  index_io_stats_.generation = li.generation;
+  index_io_stats_.file_bytes = li.file_bytes;
+}
+
+void QueryEngine::SaveIndexFile() {
+  RELMAX_DCHECK(bank_ != nullptr && index_ != nullptr);
+  const uint64_t generation = index_io_stats_.generation + 1;
+  const StatusOr<size_t> saved = SaveIndex(*bank_, *index_, WorldOptions(),
+                                           generation, options_.index_file);
+  if (!saved.ok()) {
+    std::fprintf(stderr,
+                 "relmax: query engine: index file save failed (%s); "
+                 "continuing without persistence\n",
+                 saved.status().ToString().c_str());
+    return;
+  }
+  ++index_io_stats_.saves;
+  index_io_stats_.generation = generation;
+  index_io_stats_.file_bytes = *saved;
 }
 
 void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
@@ -101,11 +156,17 @@ void QueryEngine::ResolvePairs(const std::vector<StQuery>& pairs,
                                BatchStats* stats) {
   if (pairs.empty()) return;
   if (UseIndex()) {
+    // Load-else-build-and-save: a valid file for this (graph, options) key
+    // adopts the mmap-ed bank and labels with no sampling or relabeling.
+    if (index_ == nullptr && !options_.index_file.empty()) {
+      TryLoadIndexFile();
+    }
     EnsureBank();
     if (index_ == nullptr) {
       ReliabilityIndex::Options index_options = options_.index;
       index_options.num_threads = options_.num_threads;
       index_ = std::make_unique<ReliabilityIndex>(*bank_, index_options);
+      if (!options_.index_file.empty()) SaveIndexFile();
     }
     // Every answer is a label-plane popcount (undirected / same-SCC) or a
     // cached reach-row popcount (directed residual); all are pure functions

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <deque>
 #include <memory>
+#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "common/status.h"
 #include "core/types.h"
 #include "graph/uncertain_graph.h"
+#include "index/index_io.h"
 #include "index/reliability_index.h"
 #include "query/query_set.h"
 #include "sampling/world_bank.h"
@@ -42,6 +44,14 @@ struct QueryEngineOptions {
   /// on top of reuse_worlds; when the index is disabled or over its caps the
   /// engine floods exactly as before.
   bool use_index = false;
+  /// Persistent index file (index/index_io.h). Non-empty implies use_index.
+  /// On the first indexed batch the engine tries to mmap-load this file
+  /// (O(file size), no sampling or relabeling); a missing file is built and
+  /// saved silently, while a stale or corrupt one warns on stderr and falls
+  /// back to a full rebuild (then republishes). Incremental relabels after a
+  /// graph mutation republish atomically (write-temp + rename) with the
+  /// header's generation counter bumped.
+  std::string index_file;
   /// Partition shards for the shared bank (`--partitions`). 1 keeps the
   /// flat WorldBank; >1 edge-cut partitions the graph and shards the bank's
   /// bit-matrix, turning max_bank_bytes into a per-shard budget. Answers
@@ -73,6 +83,24 @@ struct QueryEngineOptions {
   /// warns on stderr with the per-shard MiB wanted vs the cap.
   size_t max_bank_bytes = size_t{256} << 20;
   size_t max_flood_bytes_per_lane = size_t{64} << 20;
+};
+
+/// Engine-lifetime accounting for the persistent index file
+/// (QueryEngineOptions::index_file). Monotonic except `generation` and
+/// `file_bytes`, which track the most recent load or save.
+struct IndexIoStats {
+  /// Successful mmap-loads (index adopted with no rebuild).
+  size_t loads = 0;
+  /// Successful saves (fresh build or incremental republish).
+  size_t saves = 0;
+  /// Loads that failed for any reason other than the file not existing
+  /// (each also warns on stderr before the engine rebuilds from scratch).
+  size_t load_failures = 0;
+  /// Generation of the current on-disk file (header counter; bumped on
+  /// every republish).
+  uint64_t generation = 0;
+  /// Byte size of the current on-disk file.
+  size_t file_bytes = 0;
 };
 
 /// Per-batch accounting, reported alongside the answers.
@@ -172,6 +200,9 @@ class QueryEngine {
   /// over its caps (test/CLI introspection hook).
   const ReliabilityIndex* index() const { return index_.get(); }
 
+  /// Persistent-index accounting (zeroes when options.index_file is empty).
+  const IndexIoStats& index_io_stats() const { return index_io_stats_; }
+
  private:
   // Resyncs engine state after a graph mutation. The result cache always
   // drops (answers depend on probabilities). With a live index whose graph
@@ -204,12 +235,29 @@ class QueryEngine {
   bool UseSharedWorlds() const;
 
   // True when queries should resolve through the reliability index (on top
-  // of UseSharedWorlds, the label planes must fit their cap).
+  // of UseSharedWorlds, the label planes must fit their cap). A non-empty
+  // options_.index_file implies use_index.
   bool UseIndex() const;
+
+  // The WorldViewOptions every bank build / load / save keys on.
+  WorldViewOptions WorldOptions() const;
+
+  // Attempts to adopt bank + index from options_.index_file. NotFound is
+  // silent (the build path will save); any other failure warns on stderr
+  // and leaves the engine to rebuild from scratch.
+  void TryLoadIndexFile();
+
+  // Republishes bank + index to options_.index_file (write-temp + rename)
+  // with the generation counter bumped. Failure warns on stderr only — the
+  // in-memory engine stays fully functional.
+  void SaveIndexFile();
 
   const UncertainGraph& graph_;
   QueryEngineOptions options_;
   uint64_t graph_version_;
+  // Declared before bank_/index_ so it is destroyed after them: a loaded
+  // bank's bit rows point into this read-only mapping (zero copy).
+  MappedFile index_mapping_;
   std::unique_ptr<WorldView> bank_;
   std::unique_ptr<ReliabilityIndex> index_;
   std::vector<EdgeId> all_edges_;
@@ -223,6 +271,7 @@ class QueryEngine {
   // options_.max_cache_entries with first-inserted-first-evicted order.
   std::unordered_map<uint64_t, double> cache_;
   std::deque<uint64_t> cache_order_;
+  IndexIoStats index_io_stats_;
 };
 
 }  // namespace relmax

@@ -104,6 +104,24 @@ class BitMatrix {
   BitMatrix(const BitMatrix&) = delete;
   BitMatrix& operator=(const BitMatrix&) = delete;
 
+  /// Wraps an externally owned buffer as a rows × words matrix **without
+  /// copying or taking ownership** — the zero-copy path for mmap-ed index
+  /// sections (index/index_io.h). `data` must be 64-byte aligned and hold
+  /// `rows` rows of stride_words() (lane-padded) words each, with tail and
+  /// pad bits zero — exactly the layout an owned matrix allocates. The
+  /// caller keeps the buffer alive for the matrix's lifetime and must not
+  /// write through the matrix if the buffer is read-only (a PROT_READ
+  /// mapping faults loudly on write, never silently corrupts).
+  static BitMatrix External(uint64_t* data, size_t rows, size_t words) {
+    RELMAX_CHECK((reinterpret_cast<uintptr_t>(data) % kLaneBytes) == 0);
+    BitMatrix m;
+    m.rows_ = rows;
+    m.words_ = words;
+    m.stride_ = ((words + kLaneWords - 1) / kLaneWords) * kLaneWords;
+    m.data_ = DataPtr(data, Deleter{/*owned=*/false});
+    return m;
+  }
+
   /// Reallocates (zero-filled) when the logical shape differs from the
   /// current one and returns true; returns false with contents untouched
   /// when the shape already matches. Mirrors the reuse contract of the
@@ -115,9 +133,12 @@ class BitMatrix {
     words_ = words;
     stride_ = ((words + kLaneWords - 1) / kLaneWords) * kLaneWords;
     const size_t total = rows_ * stride_;
-    data_.reset(static_cast<uint64_t*>(
-        ::operator new[](total * sizeof(uint64_t), std::align_val_t{
-                                                       kLaneBytes})));
+    // A fresh DataPtr (not reset()) so a matrix that previously wrapped an
+    // external buffer regains an owning deleter.
+    data_ = DataPtr(
+        static_cast<uint64_t*>(::operator new[](
+            total * sizeof(uint64_t), std::align_val_t{kLaneBytes})),
+        Deleter{/*owned=*/true});
     std::memset(data_.get(), 0, total * sizeof(uint64_t));
     return true;
   }
@@ -151,16 +172,24 @@ class BitMatrix {
   bool empty() const { return data_ == nullptr; }
 
  private:
-  struct AlignedDelete {
+  struct Deleter {
+    // No default member initializer: an NSDMI would be parsed in the
+    // complete-class context of BitMatrix, leaving Deleter (and thus
+    // DataPtr) not default-constructible inside the class body.
+    constexpr Deleter() : owned(true) {}
+    constexpr explicit Deleter(bool o) : owned(o) {}
+    /// false when the matrix wraps an External() buffer someone else owns.
+    bool owned;
     void operator()(uint64_t* p) const {
-      ::operator delete[](p, std::align_val_t{kLaneBytes});
+      if (owned) ::operator delete[](p, std::align_val_t{kLaneBytes});
     }
   };
+  using DataPtr = std::unique_ptr<uint64_t[], Deleter>;
 
   size_t rows_ = 0;
   size_t words_ = 0;
   size_t stride_ = 0;
-  std::unique_ptr<uint64_t[], AlignedDelete> data_;
+  DataPtr data_;
 };
 
 }  // namespace bitlane

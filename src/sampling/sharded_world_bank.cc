@@ -43,6 +43,30 @@ ShardedWorldBank::ShardedWorldBank(const UncertainGraph& universe,
   BuildShardCsrs();
 }
 
+ShardedWorldBank::ShardedWorldBank(const UncertainGraph& universe,
+                                   Partition partition, int num_worlds,
+                                   std::vector<bitlane::BitMatrix> up)
+    : universe_(universe),
+      num_worlds_(num_worlds),
+      world_words_((static_cast<size_t>(num_worlds) + 63) / 64),
+      num_edges_(universe.num_edges()),
+      partition_(std::move(partition)),
+      up_(std::move(up)) {
+  RELMAX_CHECK(num_worlds > 0);
+  RELMAX_CHECK(partition_.edge_shard.size() == num_edges_);
+  RELMAX_CHECK(up_.size() == static_cast<size_t>(partition_.num_shards));
+  edge_local_.resize(num_edges_);
+  std::vector<size_t> rows(partition_.num_shards, 0);
+  for (size_t e = 0; e < num_edges_; ++e) {
+    edge_local_[e] = static_cast<uint32_t>(rows[partition_.edge_shard[e]]++);
+  }
+  for (int k = 0; k < partition_.num_shards; ++k) {
+    RELMAX_CHECK(up_[k].rows() == rows[k]);
+    RELMAX_CHECK(up_[k].words() == world_words_);
+  }
+  BuildShardCsrs();
+}
+
 std::vector<size_t> ShardedWorldBank::ShardBankBytes() const {
   std::vector<size_t> bytes(partition_.num_shards);
   for (int k = 0; k < partition_.num_shards; ++k) {

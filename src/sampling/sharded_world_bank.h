@@ -45,6 +45,16 @@ class ShardedWorldBank : public WorldView {
   ShardedWorldBank(const UncertainGraph& universe,
                    const WorldViewOptions& options);
 
+  /// Adopts an existing partition and pre-filled per-shard rows instead of
+  /// partitioning and sampling — the deserialization path (index/index_io.h),
+  /// where each matrix wraps an mmap-ed file section. `up[k]` must hold
+  /// shard k's owned edges (ascending edge-id order, the reproducible layout
+  /// documented on edge_local_) as rows of ceil(num_worlds / 64) logical
+  /// words. The sub-CSRs are rebuilt from universe + partition, so floods
+  /// behave exactly as over a sampled bank.
+  ShardedWorldBank(const UncertainGraph& universe, Partition partition,
+                   int num_worlds, std::vector<bitlane::BitMatrix> up);
+
   int num_worlds() const override { return num_worlds_; }
   const UncertainGraph& universe() const override { return universe_; }
   size_t num_edges() const override { return num_edges_; }

@@ -110,6 +110,17 @@ WorldBank::WorldBank(const UncertainGraph& universe, const Options& options)
       });
 }
 
+WorldBank::WorldBank(const UncertainGraph& universe, int num_worlds,
+                     bitlane::BitMatrix up)
+    : universe_(universe),
+      num_worlds_(num_worlds),
+      world_words_((static_cast<size_t>(num_worlds) + 63) / 64),
+      up_(std::move(up)) {
+  RELMAX_CHECK(num_worlds > 0);
+  RELMAX_CHECK(up_.rows() == universe.num_edges());
+  RELMAX_CHECK(up_.words() == world_words_);
+}
+
 int64_t WorldBank::ReachabilityFixpoint(NodeId source, bool backward,
                                         const std::vector<EdgeId>& active,
                                         bitlane::BitMatrix* reach,

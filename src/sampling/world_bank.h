@@ -75,6 +75,16 @@ class WorldBank : public WorldView {
   /// universe graph must outlive the bank.
   WorldBank(const UncertainGraph& universe, const Options& options);
 
+  /// Adopts pre-filled rows instead of sampling — the deserialization path
+  /// (index/index_io.h), where `up` wraps an mmap-ed file section. `up` must
+  /// hold universe.num_edges() rows of ceil(num_worlds / 64) logical words
+  /// in the canonical draw-stream layout (row e = edge e's world bitset,
+  /// tail and pad bits zero). The bank never writes the matrix after
+  /// construction, so a read-only external matrix is safe; whoever owns the
+  /// underlying buffer must keep it alive for the bank's lifetime.
+  WorldBank(const UncertainGraph& universe, int num_worlds,
+            bitlane::BitMatrix up);
+
   int num_worlds() const override { return num_worlds_; }
   const UncertainGraph& universe() const override { return universe_; }
 

@@ -172,6 +172,40 @@ TEST(ReliabilityIndexTest, ApplyBankUpdateHandlesAppendedEdges) {
   }
 }
 
+// Regression: ApplyBankUpdate drops the directed reach cache (its rows mixed
+// pre-update worlds), so the reach_* counters must reset with it. They used
+// to carry over, making an incremental engine report floods that served the
+// previous bank — over-counted relative to a fresh build.
+TEST(ReliabilityIndexTest, ApplyBankUpdateResetsReachCacheStats) {
+  UncertainGraph g = RandomGraph(139, 10, 0.3, true);
+  const WorldBank before(g, {.num_samples = 256, .seed = 29});
+  ReliabilityIndex incremental(before, {});
+  // Populate the reach cache from several sources pre-update.
+  for (NodeId s = 0; s < 5; ++s) incremental.Query(s, g.num_nodes() - 1);
+  ASSERT_GT(incremental.stats().reach_floods, 0u);
+
+  const Edge edge = g.EdgesById()[0];
+  ASSERT_TRUE(g.UpdateEdgeProb(edge.src, edge.dst, edge.prob * 0.7).ok());
+  const WorldBank after(g, {.num_samples = 256, .seed = 29});
+  incremental.ApplyBankUpdate(after,
+                              ReliabilityIndex::DiffWorlds(before, after));
+  EXPECT_EQ(incremental.stats().reach_floods, 0u);
+  EXPECT_EQ(incremental.stats().reach_rows_cached, 0u);
+  EXPECT_EQ(incremental.stats().reach_row_evictions, 0u);
+  EXPECT_EQ(incremental.reach_cache_bytes(), 0u);
+
+  // After identical query traffic, the incremental index's reach counters
+  // match a fresh build's exactly — stats describe the current bank only.
+  ReliabilityIndex rebuilt(after, {});
+  for (NodeId s = 0; s < 5; ++s) {
+    EXPECT_EQ(incremental.Query(s, g.num_nodes() - 1),
+              rebuilt.Query(s, g.num_nodes() - 1));
+  }
+  EXPECT_EQ(incremental.stats().reach_floods, rebuilt.stats().reach_floods);
+  EXPECT_EQ(incremental.stats().reach_rows_cached,
+            rebuilt.stats().reach_rows_cached);
+}
+
 TEST(ReliabilityIndexTest, ReachRowCacheEvictsWithoutChangingAnswers) {
   const UncertainGraph g = RandomGraph(131, 12, 0.25, true);
   const WorldBank bank(g, {.num_samples = 128, .seed = 19});

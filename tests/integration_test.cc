@@ -333,6 +333,85 @@ TEST_P(GoldenCliThreadSweep, Example3BatchStdoutPinned) {
             "(20000 samples, shard bank bytes [], <t> s)\n");
 }
 
+TEST_P(GoldenCliThreadSweep, Example3IndexFileStdoutPinned) {
+  const std::string graph = WriteExample3Graph();
+  const std::string queries = WriteExample3Queries();
+  const std::string threads = std::to_string(GetParam());
+  const std::string index_file =
+      testing::TempDir() + "/golden_example3_t" + threads + ".rmx";
+  std::remove(index_file.c_str());
+
+  // The index-file path varies with the temp dir; goldens pin content only.
+  const auto normalize = [&](std::string s) {
+    size_t at;
+    while ((at = s.find(index_file)) != std::string::npos) {
+      s.replace(at, index_file.size(), "<index>");
+    }
+    return NormalizeTimings(s);
+  };
+
+  // No file yet: batch silently builds and saves (generation 1). R values
+  // must equal the --index golden digit for digit — persistence cannot
+  // change a single bit of any answer.
+  const std::string built = normalize(RunCli(
+      "batch --graph " + graph + " --queries " + queries +
+      " --samples 20000 --seed 5 --index-file " + index_file +
+      " --threads " + threads));
+  EXPECT_EQ(built,
+            "R(2, 3) = 0.3004\n"
+            "R(2, 1) = 0.9006\n"
+            "R(0, 3) = 0.0000\n"
+            "R(2, 3) = 0.3004\n"
+            "R(1, 3) = 0.0000\n"
+            "batch: 5 queries, 4 distinct pairs, 0 floods, "
+            "0 fallback estimates, 4 index answers, 0 cache hits "
+            "(20000 samples, shard bank bytes [5008], <t> s)\n"
+            "index: 20000 worlds, 2 label bits, 20032 label bytes, "
+            "20000 worlds relabeled, 3 reach floods\n"
+            "index_io: 0 loads, 1 saves, 0 load failures, "
+            "generation 1, 105384 file bytes\n");
+
+  // `index load` validates the full file (key, layout, checksums) and
+  // reports its shape. The byte size pins the on-disk format itself: header
+  // 96 + table + 64-byte-aligned sections (bank 5120, labels 20032,
+  // compaction 80000) + footer.
+  const std::string loaded = normalize(RunCli(
+      "index load --graph " + graph + " --index-file " + index_file +
+      " --samples 20000 --seed 5 --threads " + threads));
+  EXPECT_EQ(loaded,
+            "loaded <index>: generation 1, 105384 bytes (20000 worlds, "
+            "2 label bits, 20032 label bytes, 1 shards, <t> s)\n");
+
+  // Second batch: mmap-load, no sampling, no relabeling — "0 worlds
+  // relabeled" is the load path's signature. Answers identical again.
+  const std::string reloaded = normalize(RunCli(
+      "batch --graph " + graph + " --queries " + queries +
+      " --samples 20000 --seed 5 --index-file " + index_file +
+      " --threads " + threads));
+  EXPECT_EQ(reloaded,
+            "R(2, 3) = 0.3004\n"
+            "R(2, 1) = 0.9006\n"
+            "R(0, 3) = 0.0000\n"
+            "R(2, 3) = 0.3004\n"
+            "R(1, 3) = 0.0000\n"
+            "batch: 5 queries, 4 distinct pairs, 0 floods, "
+            "0 fallback estimates, 4 index answers, 0 cache hits "
+            "(20000 samples, shard bank bytes [5008], <t> s)\n"
+            "index: 20000 worlds, 2 label bits, 20032 label bytes, "
+            "0 worlds relabeled, 3 reach floods\n"
+            "index_io: 1 loads, 0 saves, 0 load failures, "
+            "generation 1, 105384 file bytes\n");
+
+  // Explicit `index save` rebuilds and atomically overwrites (generation 1
+  // again — a fresh save, not a republish).
+  const std::string saved = normalize(RunCli(
+      "index save --graph " + graph + " --index-file " + index_file +
+      " --samples 20000 --seed 5 --threads " + threads));
+  EXPECT_EQ(saved,
+            "saved <index>: generation 1, 105384 bytes (20000 worlds, "
+            "2 label bits, 20032 label bytes, 1 shards, <t> s)\n");
+}
+
 TEST_P(GoldenCliThreadSweep, TwoClusterSolveAndEstimateStdoutPinned) {
   const std::string graph = WriteTwoClusterGraph();
   const std::string threads = std::to_string(GetParam());

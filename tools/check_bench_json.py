@@ -35,6 +35,8 @@ ENVIRONMENT_KEYS = {
 LABEL_REQUIRED_KEYS = {
     "batch_vs_naive": ("naive_seconds", "batched_seconds", "speedup",
                        "bit_identical"),
+    "index_io": ("build_seconds", "save_seconds", "load_seconds",
+                 "speedup_load_vs_build", "file_bytes", "bit_identical"),
     "index_queries": ("naive_per_query_seconds", "flood_seconds",
                       "index_seconds", "index_build_seconds",
                       "speedup_index_vs_flood", "bit_identical"),
@@ -61,6 +63,8 @@ KNOWN_MICRO_BENCHMARKS = frozenset({
     "BM_ShardedFixpoint",
     "BM_WorldBankFill",
     "BM_WorldEnsembleBuild",
+    "BM_IndexSave",
+    "BM_IndexLoad",
 })
 
 

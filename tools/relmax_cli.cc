@@ -8,7 +8,9 @@
 //                   --aggregate min --k 10
 //   relmax budget   --graph graph.txt --s 3 --t 99 --budget 2.0 --max-edges 5
 //   relmax batch    --graph graph.txt --queries queries.txt [--estimator rss]
-//                   [--index]
+//                   [--index] [--index-file index.rmx]
+//   relmax index    save --graph graph.txt --index-file index.rmx
+//   relmax index    load --graph graph.txt --index-file index.rmx
 //
 // Every command accepts --seed and prints deterministic results. Sampling
 // commands accept --threads N (0 = all cores); results do not depend on it.
@@ -17,6 +19,10 @@
 // honors the same flag for its shared multi-query world bank, and with
 // --index answers from the offline per-world connectivity index
 // (bit-identical to the flood path; prints an extra `index:` stats line).
+// --index-file persists that index as one mmap-able file (index/index_io.h):
+// `index save` builds and writes it, `index load` validates and loads it, and
+// `batch --index-file` loads it when present (O(file size), no sampling) or
+// builds and saves it when missing, printing an `index_io:` stats line.
 // Bank-backed commands accept --partitions N (default 1): >1 edge-cut
 // partitions the graph and shards the bank's bit-matrix, turning the bank
 // byte cap into a per-shard budget. Results are bit-identical for any value.
@@ -35,10 +41,13 @@
 #include "gen/datasets.h"
 #include "graph/graph_io.h"
 #include "graph/graph_stats.h"
+#include "index/index_io.h"
+#include "index/reliability_index.h"
 #include "query/query_engine.h"
 #include "query/query_set.h"
 #include "sampling/reliability.h"
 #include "sampling/rss.h"
+#include "sampling/world_view.h"
 
 namespace relmax {
 namespace {
@@ -50,8 +59,8 @@ int Fail(const std::string& message) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: relmax <gen|stats|estimate|solve|multi|budget|batch> "
-               "[--flags]\n"
+               "usage: relmax <gen|stats|estimate|solve|multi|budget|batch|"
+               "index> [--flags]\n"
                "run with a command to see its required flags\n");
   return 2;
 }
@@ -309,6 +318,74 @@ int CmdBudget(const Flags& flags) {
   return 0;
 }
 
+// The WorldViewOptions an index file is keyed on, from the same flags batch
+// uses, so `index save` / `index load` / `batch --index-file` agree.
+StatusOr<WorldViewOptions> WorldOptionsFromFlags(const Flags& flags) {
+  WorldViewOptions options;
+  options.num_samples = static_cast<int>(flags.GetInt("samples", 2000));
+  options.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  const auto partitions = ParsePartitions(flags);
+  RELMAX_RETURN_IF_ERROR(partitions.status());
+  options.num_partitions = *partitions;
+  return options;
+}
+
+// Builds bank + index for --graph and writes them to --index-file
+// (write-temp + rename; generation 1).
+int CmdIndexSave(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const std::string path = flags.GetString("index-file", "");
+  if (path.empty()) return Fail("index save requires --index-file FILE");
+  const auto world_options = WorldOptionsFromFlags(flags);
+  if (!world_options.ok()) return Fail(world_options.status().ToString());
+  WarnIfPartitionsExceedNodes(world_options->num_partitions, *graph);
+  ReliabilityIndex::Options index_options;
+  index_options.num_threads = world_options->num_threads;
+  if (!ReliabilityIndex::Fits(*graph, world_options->num_samples,
+                              index_options)) {
+    return Fail("index save: label planes exceed the index byte cap");
+  }
+  WallTimer timer;
+  const std::unique_ptr<WorldView> bank = MakeWorldView(*graph, *world_options);
+  ReliabilityIndex index(*bank, index_options);
+  const auto saved = SaveIndex(*bank, index, *world_options,
+                               /*generation=*/1, path);
+  if (!saved.ok()) return Fail(saved.status().ToString());
+  std::printf(
+      "saved %s: generation 1, %zu bytes (%d worlds, %d label bits, "
+      "%zu label bytes, %d shards, %.3f s)\n",
+      path.c_str(), *saved, index.num_worlds(), index.label_bits(),
+      index.label_bytes(), bank->num_shards(), timer.ElapsedSeconds());
+  return 0;
+}
+
+// Validates and mmap-loads --index-file against --graph — the full checksum
+// and key validation, no sampling, no relabeling.
+int CmdIndexLoad(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  const std::string path = flags.GetString("index-file", "");
+  if (path.empty()) return Fail("index load requires --index-file FILE");
+  const auto world_options = WorldOptionsFromFlags(flags);
+  if (!world_options.ok()) return Fail(world_options.status().ToString());
+  WarnIfPartitionsExceedNodes(world_options->num_partitions, *graph);
+  ReliabilityIndex::Options index_options;
+  index_options.num_threads = world_options->num_threads;
+  WallTimer timer;
+  auto loaded = LoadIndex(path, *graph, *world_options, index_options);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  std::printf(
+      "loaded %s: generation %llu, %zu bytes (%d worlds, %d label bits, "
+      "%zu label bytes, %d shards, %.3f s)\n",
+      path.c_str(), static_cast<unsigned long long>(loaded->generation),
+      loaded->file_bytes, loaded->index->num_worlds(),
+      loaded->index->label_bits(), loaded->index->label_bytes(),
+      loaded->bank->num_shards(), timer.ElapsedSeconds());
+  return 0;
+}
+
 // Answers every query in --queries FILE (one `s t` per line, `#` comments)
 // from one shared set of sampled worlds. One result row per query, in file
 // order, then a stats line; rows are bit-identical for any --threads.
@@ -325,6 +402,7 @@ int CmdBatch(const Flags& flags) {
   options.num_threads = static_cast<int>(flags.GetInt("threads", 1));
   options.reuse_worlds = flags.GetBool("reuse-worlds", true);
   options.use_index = flags.GetBool("index", false);
+  options.index_file = flags.GetString("index-file", "");
   const auto partitions = ParsePartitions(flags);
   if (!partitions.ok()) return Fail(partitions.status().ToString());
   options.num_partitions = *partitions;
@@ -364,6 +442,14 @@ int CmdBatch(const Flags& flags) {
         index->num_worlds(), index->label_bits(), index->label_bytes(),
         istats.worlds_relabeled, istats.reach_floods);
   }
+  if (!options.index_file.empty()) {
+    const IndexIoStats& io = engine.index_io_stats();
+    std::printf(
+        "index_io: %zu loads, %zu saves, %zu load failures, "
+        "generation %llu, %zu file bytes\n",
+        io.loads, io.saves, io.load_failures,
+        static_cast<unsigned long long>(io.generation), io.file_bytes);
+  }
   return 0;
 }
 
@@ -373,6 +459,14 @@ int CmdBatch(const Flags& flags) {
 int main(int argc, char** argv) {
   if (argc < 2) return relmax::Usage();
   const std::string command = argv[1];
+  if (command == "index") {
+    if (argc < 3) return relmax::Usage();
+    const std::string sub = argv[2];
+    relmax::Flags flags = relmax::Flags::Parse(argc - 2, argv + 2);
+    if (sub == "save") return relmax::CmdIndexSave(flags);
+    if (sub == "load") return relmax::CmdIndexLoad(flags);
+    return relmax::Usage();
+  }
   relmax::Flags flags = relmax::Flags::Parse(argc - 1, argv + 1);
   if (command == "gen") return relmax::CmdGen(flags);
   if (command == "stats") return relmax::CmdStats(flags);
