@@ -20,6 +20,7 @@ enum class StatusCode {
   kAlreadyExists,
   kInternal,
   kIoError,
+  kUnavailable,
 };
 
 /// Lightweight success-or-error result for operations with no payload.
@@ -49,6 +50,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

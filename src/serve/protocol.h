@@ -1,0 +1,73 @@
+#ifndef RELMAX_SERVE_PROTOCOL_H_
+#define RELMAX_SERVE_PROTOCOL_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+#include "serve/serve_core.h"
+
+namespace relmax {
+namespace serve {
+
+/// The `relmax serve` line protocol. One request per line, one response
+/// line per request, in request order:
+///
+///   query S T        -> R(S, T) = 0.1234
+///   update U V P     -> OK epoch=3 version=12
+///   addedge U V P    -> OK epoch=4 version=13
+///   epoch            -> epoch: 3 version=12 nodes=4 edges=2
+///   stats            -> stats: ... (drains in-flight queries first)
+///   quit             -> OK bye (ends this stream / connection)
+///   shutdown         -> OK bye (also stops a socket listener)
+///
+/// Blank lines and `#` comments are skipped without consuming a response
+/// slot. Every failure — unknown command, malformed number, out-of-range
+/// node, shed by admission control — is a typed single-line error:
+///
+///   ERR InvalidArgument: unknown command: flood
+///   ERR Unavailable: shed: admission queue full (1024 pending, cap 1024)
+///
+/// A query response is byte-identical to the `relmax batch` row for the
+/// same pair, so scripted streams can be diffed against batch output.
+enum class RequestKind {
+  kQuery,
+  kUpdate,
+  kAddEdge,
+  kStats,
+  kEpoch,
+  kQuit,
+  kShutdown,
+  kComment,  // blank line or '#' comment: no response slot
+};
+
+struct Request {
+  RequestKind kind = RequestKind::kComment;
+  NodeId s = 0;
+  NodeId t = 0;
+  double p = 0.0;
+};
+
+/// Parses one protocol line. Malformed input is a typed InvalidArgument
+/// (never an abort): the daemon answers it and keeps serving.
+StatusOr<Request> ParseRequest(const std::string& line);
+
+/// "R(S, T) = 0.1234" — byte-identical to the `relmax batch` answer row.
+std::string QueryResponse(NodeId s, NodeId t, double value);
+
+/// "ERR <Code>: <message>". `status` must not be OK.
+std::string ErrorResponse(const Status& status);
+
+/// "OK epoch=E version=V" after a successful mutation publish.
+std::string PublishResponse(uint64_t epoch, uint64_t version);
+
+/// The single deterministic-after-drain `stats:` line.
+std::string StatsResponse(const ServeStats& stats);
+
+/// "epoch: E version=V nodes=N edges=M" for the current snapshot.
+std::string EpochResponse(const GraphSnapshot& snapshot);
+
+}  // namespace serve
+}  // namespace relmax
+
+#endif  // RELMAX_SERVE_PROTOCOL_H_

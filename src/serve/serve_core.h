@@ -1,0 +1,185 @@
+#ifndef RELMAX_SERVE_SERVE_CORE_H_
+#define RELMAX_SERVE_SERVE_CORE_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/uncertain_graph.h"
+#include "query/query_engine.h"
+#include "query/query_set.h"
+#include "serve/snapshot.h"
+
+namespace relmax {
+namespace serve {
+
+/// Knobs for the online query daemon (ServeCore / Server).
+struct ServeOptions {
+  /// The batch engine each lane replica answers through. Every served value
+  /// is the engine's — a pure function of (graph version, estimator, seed,
+  /// Z, query) — so serve answers are bit-identical to `relmax batch` for
+  /// the same tuple, regardless of how arrivals were windowed.
+  QueryEngineOptions engine;
+  /// Micro-batch bounded-delay window: once a lane sees the first pending
+  /// query it waits at most this long for more arrivals before answering the
+  /// window through one shared flood. 0 disables the wait (every drain takes
+  /// whatever is queued).
+  int window_us = 2000;
+  /// Maximum queries answered through one window (one engine batch).
+  size_t max_batch = 256;
+  /// Admission cap: a submission finding this many queries already pending
+  /// is shed immediately with a typed Unavailable status — never a silent
+  /// drop. 0 sheds everything (useful to test the shed path).
+  size_t max_queue = 1024;
+  /// Concurrent batch lanes. QueryEngine is not internally synchronized, so
+  /// each lane owns a private graph replica + engine; answers are
+  /// bit-identical across lanes by the engine's determinism contract.
+  int lanes = 1;
+};
+
+/// Cumulative daemon accounting, reported on the `stats` protocol line.
+/// Epoch-scoped fields reset when a mutation publishes a new epoch; totals
+/// are process-lifetime.
+struct ServeStats {
+  uint64_t submitted = 0;  ///< queries accepted into the admission queue
+  uint64_t answered = 0;   ///< queries answered with a value
+  uint64_t shed = 0;       ///< queries shed by admission control (typed)
+  uint64_t rejected = 0;   ///< queries rejected by validation (typed)
+  uint64_t batches = 0;    ///< windows answered (shared floods paid)
+  size_t max_window = 0;   ///< largest window answered so far
+  uint64_t updates = 0;    ///< mutations applied (epochs published)
+  uint64_t epoch = 0;          ///< current published epoch
+  uint64_t graph_version = 0;  ///< current snapshot's UncertainGraph version
+  // Engine accounting accumulated across windows (BatchStats fields).
+  uint64_t floods = 0;
+  uint64_t index_answers = 0;
+  uint64_t fallback_estimates = 0;
+  uint64_t cache_hits = 0;
+  /// Result-cache FIFO evictions, process-lifetime.
+  uint64_t cache_evictions_total = 0;
+  /// Evictions charged to engines serving the *current* epoch; reset to 0
+  /// when a new epoch is published (fresh replicas start with empty caches,
+  /// so carrying the old epoch's count would misreport the live cache —
+  /// the serve-side mirror of the PR 9 ApplyBankUpdate stale-stats fix).
+  uint64_t cache_evictions_epoch = 0;
+  /// Live memoized pairs in lane 0's engine, as of its last window. Reset
+  /// to 0 on epoch publish until the new epoch's replica answers a window.
+  size_t cache_entries = 0;
+};
+
+/// The daemon's engine room: admission control, epoch snapshots, and
+/// micro-batched answering, independent of any wire format.
+///
+/// Readers: Submit() pins the query to the current epoch and enqueues it
+/// (or sheds / rejects it synchronously, always through the typed
+/// callback). Lane threads drain the queue in arrival order, wait up to
+/// `window_us` for a fuller window, and answer each window through one
+/// QueryEngine batch — one shared flood per distinct source in the window.
+///
+/// Writers: Update()/AddEdge() copy the current snapshot's graph, apply the
+/// mutation, and publish the result as epoch N+1. In-flight queries pinned
+/// to epoch N are untouched — their lanes answer on replicas still at N —
+/// so a republish never blocks reads. Each lane replica then catches up by
+/// replaying the mutation log the first time it sees an epoch-N+1 window;
+/// its long-lived engine observes the version bump and runs the PR 6/9
+/// incremental maintenance path (resample the bank, relabel only changed
+/// worlds) instead of rebuilding from scratch.
+///
+/// Every callback fires exactly once, from the submitting thread (shed /
+/// rejected) or from a lane thread (answered / engine error).
+class ServeCore {
+ public:
+  /// Receives the answer (or typed failure) and the epoch it was pinned to.
+  using QueryCallback =
+      std::function<void(const StatusOr<double>&, uint64_t epoch)>;
+
+  ServeCore(UncertainGraph initial, const ServeOptions& options);
+  ~ServeCore();
+
+  ServeCore(const ServeCore&) = delete;
+  ServeCore& operator=(const ServeCore&) = delete;
+
+  /// Thread-safe. Pins the query to the current epoch and enqueues it;
+  /// invokes `done` synchronously with a typed Status when the query is
+  /// invalid (InvalidArgument) or shed by admission control (Unavailable).
+  void Submit(NodeId s, NodeId t, QueryCallback done);
+
+  /// Writer path: publishes a new epoch with the edge's probability
+  /// replaced / the edge added. Concurrent writers are serialized; readers
+  /// are never blocked. Returns the new epoch.
+  StatusOr<uint64_t> UpdateEdgeProb(NodeId u, NodeId v, double p);
+  StatusOr<uint64_t> AddEdge(NodeId u, NodeId v, double p);
+
+  /// The currently published snapshot (readers may pin it).
+  std::shared_ptr<const GraphSnapshot> CurrentSnapshot() const {
+    return store_.Current();
+  }
+
+  ServeStats Stats() const;
+
+  /// Blocks until the admission queue is empty and every lane is idle.
+  void Drain();
+
+  /// Drains, then stops the lanes. Idempotent; the destructor calls it.
+  void Shutdown();
+
+ private:
+  struct Pending {
+    StQuery query;
+    uint64_t epoch = 0;
+    QueryCallback done;
+  };
+
+  /// One lane's private replica: a graph copy replayed to `epoch` plus the
+  /// long-lived engine answering on it. Boxed so addresses stay stable (the
+  /// engine holds a reference to the graph).
+  struct Lane {
+    explicit Lane(const UncertainGraph& initial,
+                  const QueryEngineOptions& engine_options)
+        : graph(initial), engine(graph, engine_options) {}
+    UncertainGraph graph;
+    uint64_t epoch = 0;
+    QueryEngine engine;
+  };
+
+  // One published mutation: ops_[e] transforms epoch e into epoch e+1.
+  struct Op {
+    Edge edge;
+    bool add = false;  // AddEdge vs UpdateEdgeProb
+  };
+
+  void LaneLoop(Lane* lane);
+  StatusOr<uint64_t> Publish(const Op& op);
+
+  ServeOptions options_;
+  SnapshotStore store_;
+  NodeId num_nodes_;  // fixed: the protocol cannot add nodes
+
+  // Serializes the copy-mutate-publish writer path.
+  std::mutex write_mu_;
+
+  // Guards everything below (queue, stats, mutation log, lane bookkeeping).
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  std::deque<Pending> queue_;
+  std::vector<Op> ops_;  // mutation log, indexed by source epoch
+  size_t active_lanes_ = 0;
+  bool stopping_ = false;
+  bool joined_ = false;
+  ServeStats stats_;
+
+  std::vector<std::unique_ptr<Lane>> lanes_;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace serve
+}  // namespace relmax
+
+#endif  // RELMAX_SERVE_SERVE_CORE_H_

@@ -1,0 +1,477 @@
+// Online query daemon: protocol parsing, scripted-stream answers pinned
+// bit-identical to the batch engine, response ordering, typed shed /
+// rejection, epoch-snapshot semantics under a concurrent writer (readers on
+// epoch N never see N+1), the eviction-stat reset across epoch swaps, and
+// socket serving with a clean shutdown. Carries the `sanitize` CTest label:
+// the snapshot/lane handoffs are exactly where instrumented builds earn
+// their keep.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstring>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "graph/uncertain_graph.h"
+#include "query/query_engine.h"
+#include "query/query_set.h"
+#include "serve/protocol.h"
+#include "serve/serve_core.h"
+#include "serve/server.h"
+#include "serve/snapshot.h"
+
+#ifndef _WIN32
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace relmax {
+namespace {
+
+using serve::ParseRequest;
+using serve::Request;
+using serve::RequestKind;
+using serve::ServeCore;
+using serve::ServeOptions;
+using serve::ServeStats;
+using serve::Server;
+
+// The README's Example-3 graph: 2 -> 1 (0.9), 2 -> 3 (0.3), node 0 isolated.
+UncertainGraph Example3() {
+  UncertainGraph g = UncertainGraph::Directed(4);
+  EXPECT_TRUE(g.AddEdge(2, 1, 0.9).ok());
+  EXPECT_TRUE(g.AddEdge(2, 3, 0.3).ok());
+  return g;
+}
+
+UncertainGraph RandomGraph(uint64_t seed, NodeId n, double density) {
+  Rng rng(seed);
+  UncertainGraph g = UncertainGraph::Directed(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      if (u == v || g.HasEdge(u, v)) continue;
+      if (rng.NextBernoulli(density)) {
+        EXPECT_TRUE(g.AddEdge(u, v, rng.NextDouble(0.05, 0.95)).ok());
+      }
+    }
+  }
+  return g;
+}
+
+// ------------------------------------------------------------ protocol
+
+TEST(ServeProtocolTest, ParsesEveryCommand) {
+  auto q = ParseRequest("query 2 3");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->kind, RequestKind::kQuery);
+  EXPECT_EQ(q->s, 2u);
+  EXPECT_EQ(q->t, 3u);
+
+  auto u = ParseRequest("  update 0 1 0.25  ");
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->kind, RequestKind::kUpdate);
+  EXPECT_DOUBLE_EQ(u->p, 0.25);
+
+  auto a = ParseRequest("addedge 1 2 1");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->kind, RequestKind::kAddEdge);
+
+  EXPECT_EQ(ParseRequest("stats")->kind, RequestKind::kStats);
+  EXPECT_EQ(ParseRequest("epoch")->kind, RequestKind::kEpoch);
+  EXPECT_EQ(ParseRequest("quit")->kind, RequestKind::kQuit);
+  EXPECT_EQ(ParseRequest("shutdown")->kind, RequestKind::kShutdown);
+}
+
+TEST(ServeProtocolTest, CommentsAndBlankLinesConsumeNoSlot) {
+  EXPECT_EQ(ParseRequest("")->kind, RequestKind::kComment);
+  EXPECT_EQ(ParseRequest("   ")->kind, RequestKind::kComment);
+  EXPECT_EQ(ParseRequest("# query 2 3")->kind, RequestKind::kComment);
+}
+
+TEST(ServeProtocolTest, MalformedLinesAreTypedInvalidArgument) {
+  for (const char* line :
+       {"flood 2 3", "query", "query 2", "query 2 3 4", "query a b",
+        "query -1 3", "update 2 3", "update 2 3 1.5", "update 2 3 -0.1",
+        "update 2 3 nope", "stats now", "quit 1"}) {
+    const auto parsed = ParseRequest(line);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << line;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << line;
+  }
+}
+
+TEST(ServeProtocolTest, QueryResponseMatchesBatchRowFormat) {
+  EXPECT_EQ(serve::QueryResponse(2, 3, 0.30035), "R(2, 3) = 0.3004");
+  EXPECT_EQ(serve::QueryResponse(0, 3, 0.0), "R(0, 3) = 0.0000");
+}
+
+// ------------------------------------------------------------ scripted streams
+
+// The tentpole contract end to end: a scripted stream's R( rows are
+// bit-identical to one QueryEngine batch over the same pairs — micro-batch
+// windowing must not be observable in the values.
+TEST(ServeServerTest, ScriptedStreamMatchesBatchEngine) {
+  const UncertainGraph g = RandomGraph(11, 24, 0.12);
+  std::vector<StQuery> pairs;
+  QuerySet set;
+  Rng rng(99);
+  std::istringstream in([&] {
+    std::string script;
+    for (int i = 0; i < 40; ++i) {
+      const NodeId s = static_cast<NodeId>(rng.NextUint64(24));
+      const NodeId t = static_cast<NodeId>(rng.NextUint64(24));
+      pairs.push_back({s, t});
+      set.AddSt(s, t);
+      script += "query " + std::to_string(s) + " " + std::to_string(t) + "\n";
+    }
+    return script + "quit\n";
+  }());
+
+  ServeOptions options;
+  options.engine.num_samples = 400;
+  options.engine.seed = 5;
+  Server server(g, options);
+  std::ostringstream out;
+  const ServeStats stats = server.Run(in, out);
+  EXPECT_EQ(stats.answered, 40u);
+
+  QueryEngine reference(g, options.engine);
+  const auto batch = reference.Answer(set);
+  ASSERT_TRUE(batch.ok()) << batch.status().ToString();
+  std::string expected;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    expected +=
+        serve::QueryResponse(pairs[i].s, pairs[i].t, batch->st_values[i]) +
+        "\n";
+  }
+  expected += "OK bye\n";
+  EXPECT_EQ(out.str(), expected);
+}
+
+// Responses come back in request order even when lanes answer windows
+// concurrently and out of order.
+TEST(ServeServerTest, ResponsesArriveInRequestOrder) {
+  const UncertainGraph g = RandomGraph(13, 16, 0.15);
+  std::string script;
+  std::vector<StQuery> pairs;
+  Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    const NodeId s = static_cast<NodeId>(rng.NextUint64(16));
+    const NodeId t = static_cast<NodeId>(rng.NextUint64(16));
+    pairs.push_back({s, t});
+    script += "query " + std::to_string(s) + " " + std::to_string(t) + "\n";
+  }
+  script += "quit\n";
+
+  ServeOptions options;
+  options.engine.num_samples = 200;
+  options.max_batch = 4;   // many small windows
+  options.window_us = 0;   // drain eagerly
+  options.lanes = 4;       // raced across lanes
+  Server server(g, options);
+  std::istringstream in(script);
+  std::ostringstream out;
+  server.Run(in, out);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    ASSERT_TRUE(std::getline(lines, line));
+    const std::string prefix = "R(" + std::to_string(pairs[i].s) + ", " +
+                               std::to_string(pairs[i].t) + ") = ";
+    EXPECT_EQ(line.compare(0, prefix.size(), prefix), 0)
+        << "line " << i << ": " << line;
+  }
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "OK bye");
+}
+
+TEST(ServeServerTest, ShedIsTypedUnavailable) {
+  ServeOptions options;
+  options.max_queue = 0;  // shed everything
+  Server server(Example3(), options);
+  std::istringstream in("query 2 3\nquery 2 1\nquit\n");
+  std::ostringstream out;
+  const ServeStats stats = server.Run(in, out);
+  EXPECT_EQ(stats.shed, 2u);
+  EXPECT_EQ(stats.answered, 0u);
+  std::istringstream lines(out.str());
+  std::string line;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(std::getline(lines, line));
+    EXPECT_EQ(line.compare(0, 16, "ERR Unavailable:"), 0) << line;
+  }
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "OK bye");
+}
+
+TEST(ServeServerTest, InvalidQueryIsTypedErrorAndStreamContinues) {
+  ServeOptions options;
+  options.engine.num_samples = 200;
+  options.engine.seed = 5;
+  Server server(Example3(), options);
+  std::istringstream in("query 9 0\nbogus 1 2\nquery 2 1\nquit\n");
+  std::ostringstream out;
+  const ServeStats stats = server.Run(in, out);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.answered, 1u);
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.compare(0, 20, "ERR InvalidArgument:"), 0) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.compare(0, 20, "ERR InvalidArgument:"), 0) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.compare(0, 8, "R(2, 1) "), 0) << line;
+}
+
+// ------------------------------------------------------------ epochs
+
+// A query submitted before a publish answers on the old epoch; one submitted
+// after answers on the new epoch — and each reports the epoch it was pinned
+// to.
+TEST(ServeCoreTest, UpdatePublishesEpochAndPinsInFlightQueries) {
+  ServeOptions options;
+  options.engine.num_samples = 2000;
+  options.engine.seed = 5;
+  ServeCore core(Example3(), options);
+
+  double before = -1.0, after = -1.0;
+  uint64_t before_epoch = 99, after_epoch = 99;
+  core.Submit(2, 3, [&](const StatusOr<double>& r, uint64_t epoch) {
+    ASSERT_TRUE(r.ok());
+    before = *r;
+    before_epoch = epoch;
+  });
+  core.Drain();
+
+  const auto epoch = core.UpdateEdgeProb(2, 3, 0.9);
+  ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+  EXPECT_EQ(*epoch, 1u);
+  EXPECT_EQ(core.CurrentSnapshot()->epoch(), 1u);
+
+  core.Submit(2, 3, [&](const StatusOr<double>& r, uint64_t epoch) {
+    ASSERT_TRUE(r.ok());
+    after = *r;
+    after_epoch = epoch;
+  });
+  core.Drain();
+
+  EXPECT_EQ(before_epoch, 0u);
+  EXPECT_EQ(after_epoch, 1u);
+  EXPECT_GT(after, before);  // 0.3 edge raised to 0.9
+
+  // Mutating a missing edge is a typed failure, not a new epoch.
+  const auto missing = core.UpdateEdgeProb(0, 1, 0.5);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(core.CurrentSnapshot()->epoch(), 1u);
+}
+
+// Satellite regression: the epoch-scoped result-cache stats reset on
+// publish (fresh replicas start with empty caches) while the lifetime total
+// keeps counting — and straggler stats from the old epoch are not charged
+// to the new one.
+TEST(ServeCoreTest, EvictionStatsResetAcrossEpochSwap) {
+  ServeOptions options;
+  options.engine.num_samples = 200;
+  options.engine.max_cache_entries = 2;
+  options.window_us = 0;
+  ServeCore core(Example3(), options);
+
+  // Four distinct pairs through a 2-entry FIFO cache: 2 evictions.
+  for (const auto& [s, t] : std::vector<std::pair<NodeId, NodeId>>{
+           {2, 3}, {2, 1}, {0, 3}, {1, 3}}) {
+    core.Submit(s, t, [](const StatusOr<double>& r, uint64_t) {
+      ASSERT_TRUE(r.ok());
+    });
+    core.Drain();  // one window per query: deterministic eviction count
+  }
+  ServeStats stats = core.Stats();
+  EXPECT_EQ(stats.cache_evictions_total, 2u);
+  EXPECT_EQ(stats.cache_evictions_epoch, 2u);
+  EXPECT_EQ(stats.cache_entries, 2u);
+
+  const auto epoch = core.UpdateEdgeProb(2, 3, 0.9);
+  ASSERT_TRUE(epoch.ok());
+  stats = core.Stats();
+  EXPECT_EQ(stats.cache_evictions_total, 2u);  // lifetime count survives
+  EXPECT_EQ(stats.cache_evictions_epoch, 0u);  // epoch-scoped count resets
+  EXPECT_EQ(stats.cache_entries, 0u);
+
+  core.Submit(2, 3, [](const StatusOr<double>& r, uint64_t) {
+    ASSERT_TRUE(r.ok());
+  });
+  core.Drain();
+  stats = core.Stats();
+  EXPECT_EQ(stats.cache_evictions_epoch, 0u);  // new cache, no pressure yet
+  EXPECT_EQ(stats.cache_entries, 1u);
+}
+
+// Satellite concurrency test: readers pinned on epoch N keep answering
+// bit-identically to a pre-computed epoch-N reference while a writer
+// publishes N+1, N+2, ... — snapshots are immutable, and through the core
+// every answer matches the reference for the epoch it reports.
+TEST(ServeCoreTest, SnapshotReadersAreImmuneToConcurrentWriter) {
+  const UncertainGraph g = RandomGraph(7, 20, 0.15);
+  QueryEngineOptions engine_options;
+  engine_options.num_samples = 300;
+  engine_options.seed = 5;
+
+  // Reference answers per epoch, computed serially up front on private
+  // copies that replay the same mutation sequence the writer will publish.
+  const std::vector<StQuery> pairs = {{0, 5}, {3, 9}, {7, 2}, {14, 1}};
+  const std::vector<Edge> mutations = {
+      {0, 5, 0.99}, {3, 9, 0.99}, {7, 2, 0.99}, {14, 1, 0.99}};
+  QuerySet set;
+  for (const StQuery& q : pairs) set.AddSt(q.s, q.t);
+  std::vector<std::vector<double>> reference;  // [epoch][pair]
+  {
+    UncertainGraph replica = g;
+    for (size_t e = 0; e <= mutations.size(); ++e) {
+      QueryEngine engine(replica, engine_options);
+      const auto batch = engine.Answer(set);
+      ASSERT_TRUE(batch.ok());
+      reference.push_back(batch->st_values);
+      if (e < mutations.size()) {
+        const Edge& m = mutations[e];
+        ASSERT_TRUE((replica.HasEdge(m.src, m.dst)
+                         ? replica.UpdateEdgeProb(m.src, m.dst, m.prob)
+                         : replica.AddEdge(m.src, m.dst, m.prob))
+                        .ok());
+      }
+    }
+  }
+
+  ServeOptions options;
+  options.engine = engine_options;
+  options.window_us = 0;
+  ServeCore core(g, options);
+
+  // Readers pin the epoch-0 snapshot directly and hammer it with their own
+  // engines while the writer publishes every mutation: every answer must
+  // stay bit-identical to the epoch-0 reference.
+  const std::shared_ptr<const serve::GraphSnapshot> pinned =
+      core.CurrentSnapshot();
+  ASSERT_EQ(pinned->epoch(), 0u);
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      while (!go.load()) std::this_thread::yield();
+      for (int iter = 0; iter < 3; ++iter) {
+        QueryEngine engine(pinned->graph(), engine_options);
+        const auto batch = engine.Answer(set);
+        if (!batch.ok() || batch->st_values != reference[0]) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  std::thread writer([&] {
+    while (!go.load()) std::this_thread::yield();
+    for (const Edge& m : mutations) {
+      const auto epoch = core.CurrentSnapshot()->graph().HasEdge(m.src, m.dst)
+                             ? core.UpdateEdgeProb(m.src, m.dst, m.prob)
+                             : core.AddEdge(m.src, m.dst, m.prob);
+      ASSERT_TRUE(epoch.ok()) << epoch.status().ToString();
+    }
+  });
+
+  // Meanwhile, queries submitted through the core must match the reference
+  // for whichever epoch they report being pinned to.
+  std::mutex check_mu;
+  std::vector<std::pair<uint64_t, std::pair<size_t, double>>> answers;
+  go.store(true);
+  for (int round = 0; round < 20; ++round) {
+    for (size_t i = 0; i < pairs.size(); ++i) {
+      core.Submit(pairs[i].s, pairs[i].t,
+                  [&, i](const StatusOr<double>& r, uint64_t epoch) {
+                    ASSERT_TRUE(r.ok());
+                    std::lock_guard<std::mutex> lock(check_mu);
+                    answers.push_back({epoch, {i, *r}});
+                  });
+    }
+  }
+  writer.join();
+  core.Drain();
+  for (std::thread& t : readers) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  EXPECT_EQ(core.CurrentSnapshot()->epoch(), mutations.size());
+  EXPECT_EQ(pinned->epoch(), 0u);  // the pinned snapshot never moved
+  for (const auto& [epoch, idx_value] : answers) {
+    ASSERT_LT(epoch, reference.size());
+    EXPECT_EQ(idx_value.second, reference[epoch][idx_value.first])
+        << "epoch " << epoch << " pair " << idx_value.first;
+  }
+}
+
+// Replayed replicas land on the same version counter as the published
+// snapshot — the invariant that keys every lane's result cache correctly.
+TEST(ServeCoreTest, SnapshotVersionTracksMutations) {
+  ServeCore core(Example3(), ServeOptions{});
+  const uint64_t v0 = core.CurrentSnapshot()->version();
+  ASSERT_TRUE(core.UpdateEdgeProb(2, 3, 0.5).ok());
+  EXPECT_EQ(core.CurrentSnapshot()->version(), v0 + 1);
+  ASSERT_TRUE(core.AddEdge(0, 1, 0.4).ok());
+  EXPECT_EQ(core.CurrentSnapshot()->version(), v0 + 2);
+}
+
+// ------------------------------------------------------------ socket mode
+
+#ifndef _WIN32
+TEST(ServeServerTest, SocketServesAndShutsDown) {
+  ServeOptions options;
+  options.engine.num_samples = 2000;
+  options.engine.seed = 5;
+  Server server(Example3(), options);
+
+  std::promise<uint16_t> port_promise;
+  std::future<uint16_t> port_future = port_promise.get_future();
+  std::thread serving([&] {
+    const Status status = server.ServePort(
+        0, [&](uint16_t port) { port_promise.set_value(port); });
+    EXPECT_TRUE(status.ok()) << status.ToString();
+  });
+  const uint16_t port = port_future.get();
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  const std::string request = "query 2 3\nshutdown\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[256];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) response.append(buf, n);
+  ::close(fd);
+  serving.join();  // `shutdown` stopped the listener; a leak hangs here
+
+  std::istringstream lines(response);
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line.compare(0, 8, "R(2, 3) "), 0) << line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_EQ(line, "OK bye");
+}
+#endif  // _WIN32
+
+}  // namespace
+}  // namespace relmax

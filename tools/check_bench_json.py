@@ -44,6 +44,8 @@ LABEL_REQUIRED_KEYS = {
     "pr7_simd_frontier_kernels": ("cpu_time_ms", "worlds_per_second"),
     "sharded_flood": ("shards", "worlds_per_second", "peak_rss_bytes",
                       "bit_identical"),
+    "serving": ("p50_ms", "p99_ms", "p999_ms", "qps", "shed",
+                "bit_identical"),
 }
 
 # Every google-benchmark name the micro-kernel suite may emit (the part

@@ -11,6 +11,8 @@
 //                   [--index] [--index-file index.rmx]
 //   relmax index    save --graph graph.txt --index-file index.rmx
 //   relmax index    load --graph graph.txt --index-file index.rmx
+//   relmax serve    --graph graph.txt [--port 0] [--window-us 2000]
+//                   [--max-batch 256] [--max-queue 1024] [--lanes 1]
 //
 // Every command accepts --seed and prints deterministic results. Sampling
 // commands accept --threads N (0 = all cores); results do not depend on it.
@@ -26,9 +28,17 @@
 // Bank-backed commands accept --partitions N (default 1): >1 edge-cut
 // partitions the graph and shards the bank's bit-matrix, turning the bank
 // byte cap into a per-shard budget. Results are bit-identical for any value.
+// `serve` holds the graph (and warm bank / loaded index) resident and answers
+// a line protocol on stdin (or a loopback TCP port with --port; 0 picks an
+// ephemeral one): micro-batched queries, non-blocking edge updates via epoch
+// snapshots, typed shed responses under overload. Query responses are
+// bit-identical to `batch` rows for the same (version, estimator, seed, Z,
+// query) tuple, so scripted streams diff cleanly against batch output.
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/flags.h"
@@ -46,6 +56,7 @@
 #include "query/query_engine.h"
 #include "query/query_set.h"
 #include "sampling/reliability.h"
+#include "serve/server.h"
 #include "sampling/rss.h"
 #include "sampling/world_view.h"
 
@@ -60,7 +71,7 @@ int Fail(const std::string& message) {
 int Usage() {
   std::fprintf(stderr,
                "usage: relmax <gen|stats|estimate|solve|multi|budget|batch|"
-               "index> [--flags]\n"
+               "index|serve> [--flags]\n"
                "run with a command to see its required flags\n");
   return 2;
 }
@@ -453,6 +464,54 @@ int CmdBatch(const Flags& flags) {
   return 0;
 }
 
+// Runs the online query daemon: stdin/stdout line protocol by default, a
+// sequential loopback TCP listener with --port (0 = ephemeral, port printed
+// once bound). Engine flags match `batch` so answers diff cleanly against it.
+int CmdServe(const Flags& flags) {
+  auto graph = LoadGraph(flags);
+  if (!graph.ok()) return Fail(graph.status().ToString());
+  serve::ServeOptions options;
+  options.engine.num_samples = static_cast<int>(flags.GetInt("samples", 2000));
+  options.engine.seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  options.engine.num_threads = static_cast<int>(flags.GetInt("threads", 1));
+  options.engine.reuse_worlds = flags.GetBool("reuse-worlds", true);
+  options.engine.use_index = flags.GetBool("index", false);
+  options.engine.index_file = flags.GetString("index-file", "");
+  const auto partitions = ParsePartitions(flags);
+  if (!partitions.ok()) return Fail(partitions.status().ToString());
+  options.engine.num_partitions = *partitions;
+  WarnIfPartitionsExceedNodes(options.engine.num_partitions, *graph);
+  const auto estimator = ParseEstimator(flags);
+  if (!estimator.ok()) return Fail(estimator.status().ToString());
+  options.engine.estimator = *estimator;
+  options.window_us = static_cast<int>(flags.GetInt("window-us", 2000));
+  if (options.window_us < 0) return Fail("--window-us must be >= 0");
+  const int64_t max_batch = flags.GetInt("max-batch", 256);
+  if (max_batch < 1) return Fail("--max-batch must be >= 1");
+  options.max_batch = static_cast<size_t>(max_batch);
+  const int64_t max_queue = flags.GetInt("max-queue", 1024);
+  if (max_queue < 0) return Fail("--max-queue must be >= 0");
+  options.max_queue = static_cast<size_t>(max_queue);
+  options.lanes = static_cast<int>(flags.GetInt("lanes", 1));
+  if (options.lanes < 1) return Fail("--lanes must be >= 1");
+
+  serve::Server server(std::move(*graph), options);
+  if (flags.Has("port")) {
+    const int64_t port = flags.GetInt("port", 0);
+    if (port < 0 || port > 65535) return Fail("--port must be in [0, 65535]");
+    const Status status = server.ServePort(
+        static_cast<uint16_t>(port), [](uint16_t bound) {
+          std::printf("serving on port %u\n", bound);
+          std::fflush(stdout);
+        });
+    if (!status.ok()) return Fail(status.ToString());
+  } else {
+    const serve::ServeStats stats = server.Run(std::cin, std::cout);
+    std::printf("%s\n", serve::StatsResponse(stats).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 }  // namespace relmax
 
@@ -475,5 +534,6 @@ int main(int argc, char** argv) {
   if (command == "multi") return relmax::CmdMulti(flags);
   if (command == "budget") return relmax::CmdBudget(flags);
   if (command == "batch") return relmax::CmdBatch(flags);
+  if (command == "serve") return relmax::CmdServe(flags);
   return relmax::Usage();
 }

@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# Smoke test for `relmax serve`: drives a scripted query stream into the
+# daemon and diffs its answer rows against `relmax batch` on the same graph,
+# queries, and engine flags — the serving determinism contract, end to end
+# through the real CLI. Also checks the typed-shed path (--max-queue 0) and
+# that an `update` republish changes subsequent answers without breaking the
+# stream. Run under ASan (the serve-smoke CI job does) and a leaked thread,
+# socket, or graph copy fails the job.
+#
+# usage: serve_smoke.sh /path/to/relmax [workdir]
+set -euo pipefail
+
+CLI=${1:?usage: serve_smoke.sh /path/to/relmax [workdir]}
+WORK=${2:-$(mktemp -d)}
+mkdir -p "$WORK"
+
+SAMPLES=2000
+SEED=5
+
+# The README's Example-3 fixture: R(2,3) crosses one 0.3 edge, R(2,1) one
+# 0.9 edge, everything else is disconnected.
+cat > "$WORK/graph.txt" <<'EOF'
+# relmax-graph v1
+directed 4
+2 1 0.9
+2 3 0.3
+EOF
+
+cat > "$WORK/queries.txt" <<'EOF'
+2 3
+2 1
+0 3
+2 3
+1 3
+EOF
+
+echo "== batch reference =="
+"$CLI" batch --graph "$WORK/graph.txt" --queries "$WORK/queries.txt" \
+  --samples $SAMPLES --seed $SEED | tee "$WORK/batch.out"
+
+echo "== scripted serve stream =="
+{
+  echo "# serve-smoke scripted stream"
+  while read -r s t; do echo "query $s $t"; done < "$WORK/queries.txt"
+  echo "stats"
+  echo "quit"
+} > "$WORK/stream.txt"
+"$CLI" serve --graph "$WORK/graph.txt" --samples $SAMPLES --seed $SEED \
+  < "$WORK/stream.txt" | tee "$WORK/serve.out"
+
+grep '^R(' "$WORK/batch.out" > "$WORK/batch.rows"
+grep '^R(' "$WORK/serve.out" > "$WORK/serve.rows"
+if ! diff -u "$WORK/batch.rows" "$WORK/serve.rows"; then
+  echo "FAIL: serve answers differ from batch answers" >&2
+  exit 1
+fi
+echo "OK: serve rows identical to batch rows"
+
+grep -q '^OK bye$' "$WORK/serve.out" || {
+  echo "FAIL: stream did not end with a clean OK bye" >&2; exit 1; }
+
+echo "== shed path (--max-queue 0) =="
+"$CLI" serve --graph "$WORK/graph.txt" --max-queue 0 \
+  < "$WORK/stream.txt" | tee "$WORK/shed.out"
+SHED=$(grep -c '^ERR Unavailable: shed' "$WORK/shed.out")
+if [ "$SHED" -ne 5 ]; then
+  echo "FAIL: expected 5 typed Unavailable shed responses, got $SHED" >&2
+  exit 1
+fi
+grep -q '^OK bye$' "$WORK/shed.out" || {
+  echo "FAIL: shed stream did not shut down cleanly" >&2; exit 1; }
+echo "OK: all 5 queries shed with typed Unavailable, clean shutdown"
+
+echo "== update republish changes subsequent answers =="
+printf 'query 2 3\nupdate 2 3 0.9\nquery 2 3\nquit\n' | \
+  "$CLI" serve --graph "$WORK/graph.txt" --samples $SAMPLES --seed $SEED \
+  | tee "$WORK/update.out"
+BEFORE=$(grep '^R(2, 3)' "$WORK/update.out" | head -1)
+AFTER=$(grep '^R(2, 3)' "$WORK/update.out" | tail -1)
+grep -q '^OK epoch=1' "$WORK/update.out" || {
+  echo "FAIL: update did not publish epoch 1" >&2; exit 1; }
+if [ "$BEFORE" = "$AFTER" ]; then
+  echo "FAIL: answer unchanged after raising the edge probability" >&2
+  exit 1
+fi
+echo "OK: '$BEFORE' -> '$AFTER' across the epoch publish"
+
+echo "serve-smoke: PASS"
